@@ -1,0 +1,121 @@
+// Command experiments regenerates every figure and quantitative claim
+// of the paper and prints paper-vs-measured reports (the source of
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-run F1,E3] [-seed 20140622] [-md]
+//
+// With no -run flag every registered experiment runs. -md emits a
+// Markdown table suitable for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"modeldata/internal/experiments"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Uint64("seed", 20140622, "master random seed")
+	md := flag.Bool("md", false, "emit a Markdown report")
+	list := flag.Bool("list", false, "list registered experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *runList != "" {
+		ids = strings.Split(*runList, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
+	}
+
+	failures := 0
+	if *md {
+		fmt.Println("| ID | Title | Verdict | Key numbers |")
+		fmt.Println("|---|---|---|---|")
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			failures++
+			continue
+		}
+		if !res.Verdict {
+			failures++
+		}
+		if *md {
+			printMarkdown(res)
+		} else {
+			fmt.Println(res)
+			printSeries(res)
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce\n", failures)
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(res experiments.Result) {
+	verdict := "✅ reproduced"
+	if !res.Verdict {
+		verdict = "❌ mismatch"
+	}
+	var keys []string
+	max := 4
+	if len(res.Rows) < max {
+		max = len(res.Rows)
+	}
+	for _, row := range res.Rows[:max] {
+		keys = append(keys, fmt.Sprintf("%s = %.5g %s", row.Name, row.Value, row.Unit))
+	}
+	fmt.Printf("| %s | %s | %s | %s |\n", res.ID, res.Title, verdict, strings.Join(keys, "; "))
+}
+
+// printSeries renders any attached numeric series as unicode
+// sparklines (F1's actual-vs-extrapolated trajectories).
+func printSeries(res experiments.Result) {
+	if len(res.Series) == 0 {
+		return
+	}
+	labels := make([]string, 0, len(res.Series))
+	for label := range res.Series {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, label := range labels {
+		for _, v := range res.Series[label] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if !(hi > lo) {
+		return
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	for _, label := range labels {
+		var b strings.Builder
+		for _, v := range res.Series[label] {
+			idx := int((v - lo) / (hi - lo) * float64(len(bars)-1))
+			b.WriteRune(bars[idx])
+		}
+		fmt.Printf("  %-14s %s\n", label, b.String())
+	}
+	fmt.Println()
+}

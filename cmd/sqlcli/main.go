@@ -1,0 +1,77 @@
+// Command sqlcli is an interactive SQL shell over the engine — the
+// experimenter's console of the Indemics workflow (§2.4). It boots a
+// small epidemic, pauses it after the requested number of days, loads
+// the relational snapshot, and then reads SQL statements from stdin.
+//
+// Usage:
+//
+//	sqlcli [-people 2000] [-days 30] [-seed 1]
+//	> SELECT state, COUNT(*) AS n FROM person GROUP BY state;
+//	> SELECT pid FROM person WHERE age <= 4 AND state = 'I' LIMIT 5;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"modeldata/internal/indemics"
+	"modeldata/internal/rng"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sqlcli: ")
+	people := flag.Int("people", 2000, "population size")
+	days := flag.Int("days", 30, "days to simulate before pausing")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	net, err := indemics.GeneratePopulation(indemics.PopulationConfig{
+		N: *people, MeanDegree: 8, Rewire: 0.1,
+	}, rng.New(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := indemics.NewSim(net, indemics.Params{
+		Beta: 0.25, LatentDays: 2, InfectiousDays: 4,
+	}, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Seed(5)
+	if err := sim.Run(*days, nil); err != nil {
+		log.Fatal(err)
+	}
+	db := sim.Database()
+	fmt.Printf("epidemic paused at day %d over %d people; tables: person, contact\n", *days, *people)
+	fmt.Println(`type SQL statements (end with newline), or \q to quit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			break
+		}
+		res, err := db.Query(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(res)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Housing extrapolation (Figure 1): "Data is dead... without what-if
+// analytics". A simple time-series model is fitted to median housing
+// prices 1970–2006 and extrapolated to 2011. Because the model only
+// extrapolates past patterns, it cannot anticipate the 2006 collapse —
+// the paper's argument for combining data with domain-expert models.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"modeldata/internal/experiments"
+	"modeldata/internal/timeseries"
+)
+
+func main() {
+	log.SetFlags(0)
+	series := experiments.HousingIndex(1970)
+	train := series.Slice(1970, 2007)
+	model, err := timeseries.FitTrend(train, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("year   actual  extrapolated")
+	maxV := 0.0
+	for _, p := range series.Points {
+		if p.V > maxV {
+			maxV = p.V
+		}
+		if model.At(p.T) > maxV {
+			maxV = model.At(p.T)
+		}
+	}
+	for _, p := range series.Points {
+		if int(p.T)%2 != 0 {
+			continue
+		}
+		pred := model.At(p.T)
+		marker := " "
+		if p.T >= 2007 {
+			marker = "!"
+		}
+		bar := strings.Repeat("█", int(p.V/maxV*40))
+		fmt.Printf("%4.0f %s %8.1f %12.1f  %s\n", p.T, marker, p.V, pred, bar)
+	}
+	last := series.Points[series.Len()-1]
+	fmt.Printf("\n2011: model says %.0f, reality says %.0f — off by %.0f%%.\n",
+		model.At(2011), last.V, 100*(model.At(2011)-last.V)/last.V)
+	fmt.Println("The extrapolation ignored everything economists knew about the bubble.")
+}

@@ -1,0 +1,3 @@
+module modeldata
+
+go 1.22

@@ -1,0 +1,306 @@
+package calibrate
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"modeldata/internal/rng"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	// min (x−3)² + (y+1)².
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+	}
+	res, err := NelderMead(f, []float64{0, 0}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.X[0]-3) > 1e-4 || math.Abs(res.X[1]+1) > 1e-4 {
+		t.Fatalf("argmin = %v", res.X)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res, err := NelderMead(f, []float64{-1.2, 1}, NMOptions{MaxEvals: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("Rosenbrock argmin = %v (f=%g)", res.X, res.F)
+	}
+}
+
+func TestNelderMeadBudget(t *testing.T) {
+	calls := 0
+	f := func(x []float64) float64 { calls++; return x[0] * x[0] }
+	res, err := NelderMead(f, []float64{100}, NMOptions{MaxEvals: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("claimed convergence on a 10-eval budget from x=100")
+	}
+	if calls > 11 {
+		t.Fatalf("made %d calls on budget 10", calls)
+	}
+	if _, err := NelderMead(f, nil, NMOptions{}); !errors.Is(err, ErrBadStart) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + (x[1]-5)*(x[1]-5)
+	}
+	res, err := GridSearch(f, [][]float64{{0, 1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] != 2 || res.X[1] != 5 || res.Evals != 12 {
+		t.Fatalf("grid result = %+v", res)
+	}
+	if _, err := GridSearch(f, nil); !errors.Is(err, ErrBadStart) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := GridSearch(f, [][]float64{{1}, {}}); !errors.Is(err, ErrBadBounds) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestExponentialMLE(t *testing.T) {
+	const theta = 2.5
+	data := rng.SampleN(rng.ExponentialDist{Rate: theta}, rng.New(1), 50000)
+	got, err := ExponentialMLE(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-theta)/theta > 0.02 {
+		t.Fatalf("θ̂ = %g, want ≈ %g", got, theta)
+	}
+	if _, err := ExponentialMLE(nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := ExponentialMLE([]float64{-1, -2}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNumericalMLEMatchesClosedForm(t *testing.T) {
+	const theta = 1.7
+	data := rng.SampleN(rng.ExponentialDist{Rate: theta}, rng.New(2), 20000)
+	closed, err := ExponentialMLE(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MLE(data, func(th []float64, x float64) float64 {
+		if th[0] <= 0 {
+			return math.Inf(-1)
+		}
+		return rng.ExponentialDist{Rate: th[0]}.LogPDF(x)
+	}, []float64{1}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-closed) > 1e-3 {
+		t.Fatalf("numerical MLE %g vs closed form %g", res.X[0], closed)
+	}
+	if _, err := MLE(nil, nil, nil, NMOptions{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := MLE(data, nil, nil, NMOptions{}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNormalMLE(t *testing.T) {
+	d := rng.NormalDist{Mu: 4, Sigma: 2}
+	data := rng.SampleN(d, rng.New(3), 20000)
+	res, err := MLE(data, func(th []float64, x float64) float64 {
+		if th[1] <= 0 {
+			return math.Inf(-1)
+		}
+		return rng.NormalDist{Mu: th[0], Sigma: th[1]}.LogPDF(x)
+	}, []float64{0, 1}, NMOptions{MaxEvals: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-4) > 0.05 || math.Abs(res.X[1]-2) > 0.05 {
+		t.Fatalf("MLE = %v", res.X)
+	}
+}
+
+func TestMethodOfMoments(t *testing.T) {
+	// Normal: match (mean, variance) → recover (μ, σ).
+	observed := []float64{4, 9} // μ=4, σ²=9
+	res, err := MethodOfMoments(observed, func(th []float64) []float64 {
+		return []float64{th[0], th[1] * th[1]}
+	}, []float64{1, 1}, NMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-4) > 1e-4 || math.Abs(math.Abs(res.X[1])-3) > 1e-4 {
+		t.Fatalf("MM = %v", res.X)
+	}
+	if _, err := MethodOfMoments(nil, nil, nil, NMOptions{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := MethodOfMoments([]float64{1}, func([]float64) []float64 { return nil }, []float64{1, 2}, NMOptions{}); !errors.Is(err, ErrBadModel) {
+		t.Fatalf("under-identified: got %v", err)
+	}
+}
+
+func TestMomentVector(t *testing.T) {
+	mv := MomentVector([]float64{1, 2, 3, 4})
+	if mv[0] != 2.5 {
+		t.Fatalf("mean = %g", mv[0])
+	}
+	if len(MomentVector([]float64{5})) != 3 {
+		t.Fatal("singleton moment vector")
+	}
+}
+
+// herdingSim is a small stochastic AR(1)-style "herding" model with
+// parameters θ = (drift a, noise σ); the MSM tests recover θ from its
+// moment signature.
+func herdingSim(theta []float64, r *rng.Stream) []float64 {
+	a, sigma := theta[0], math.Abs(theta[1])
+	if a > 0.99 {
+		a = 0.99
+	}
+	if a < -0.99 {
+		a = -0.99
+	}
+	x := 0.0
+	xs := make([]float64, 150)
+	for i := range xs {
+		x = a*x + r.Normal(0, sigma)
+		xs[i] = x
+	}
+	return MomentVector(xs)
+}
+
+func buildMSMProblem(t *testing.T, trueTheta []float64) *MSM {
+	t.Helper()
+	r := rng.New(101)
+	obs := make([][]float64, 60)
+	for i := range obs {
+		obs[i] = herdingSim(trueTheta, r.Split())
+	}
+	return &MSM{
+		Observed: obs,
+		Simulate: herdingSim,
+		SimReps:  60,
+		Seed:     55,
+	}
+}
+
+func TestMSMCalibrationRecoversTheta(t *testing.T) {
+	trueTheta := []float64{0.7, 0.5}
+	p := buildMSMProblem(t, trueTheta)
+	if err := p.EstimateOptimalWeight(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Calibrate([]float64{0.3, 1.0}, NMOptions{MaxEvals: 400, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-0.7) > 0.12 || math.Abs(math.Abs(res.X[1])-0.5) > 0.12 {
+		t.Fatalf("MSM θ̂ = %v, want ≈ %v (J=%g)", res.X, trueTheta, res.F)
+	}
+}
+
+func TestMSMGridVsNelderMead(t *testing.T) {
+	trueTheta := []float64{0.6, 0.8}
+	p := buildMSMProblem(t, trueTheta)
+	grid := [][]float64{
+		{0.2, 0.4, 0.6, 0.8},
+		{0.4, 0.8, 1.2},
+	}
+	gres, err := p.CalibrateGrid(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Evals != 12 {
+		t.Fatalf("grid evals = %d", gres.Evals)
+	}
+	if math.Abs(gres.X[0]-0.6) > 0.21 || math.Abs(gres.X[1]-0.8) > 0.41 {
+		t.Fatalf("grid θ̂ = %v", gres.X)
+	}
+	nres, err := p.Calibrate([]float64{0.4, 1.2}, NMOptions{MaxEvals: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jGrid, err := p.J(gres.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jNM, err := p.J(nres.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jNM > jGrid+1e-9 {
+		t.Fatalf("Nelder-Mead J=%g worse than grid J=%g", jNM, jGrid)
+	}
+}
+
+func TestMSMJDeterministic(t *testing.T) {
+	p := buildMSMProblem(t, []float64{0.5, 0.5})
+	j1, err := p.J([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := p.J([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1 != j2 {
+		t.Fatal("J not deterministic under common random numbers")
+	}
+}
+
+func TestMSMRidgePenalty(t *testing.T) {
+	p := buildMSMProblem(t, []float64{0.5, 0.5})
+	p.Ridge = 1000
+	res, err := p.Calibrate([]float64{0.5, 0.5}, NMOptions{MaxEvals: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy ridge anchors θ̂ near the starting point.
+	if math.Abs(res.X[0]-0.5) > 0.1 || math.Abs(res.X[1]-0.5) > 0.1 {
+		t.Fatalf("ridge ignored: θ̂ = %v", res.X)
+	}
+}
+
+func TestMSMValidation(t *testing.T) {
+	var p MSM
+	if _, err := p.J([]float64{1}); !errors.Is(err, ErrMSM) {
+		t.Fatalf("got %v", err)
+	}
+	p2 := &MSM{
+		Observed: [][]float64{{1, 2}, {3}},
+		Simulate: func([]float64, *rng.Stream) []float64 { return nil },
+	}
+	if _, err := p2.J([]float64{1}); !errors.Is(err, ErrMSM) {
+		t.Fatalf("ragged observations: got %v", err)
+	}
+	p3 := &MSM{
+		Observed: [][]float64{{1, 2}},
+		Simulate: func([]float64, *rng.Stream) []float64 { return []float64{1} },
+	}
+	if _, err := p3.J([]float64{1}); !errors.Is(err, ErrMSM) {
+		t.Fatalf("wrong simulator arity: got %v", err)
+	}
+	if err := p3.EstimateOptimalWeight(); !errors.Is(err, ErrMSM) {
+		t.Fatalf("single obs weight: got %v", err)
+	}
+}

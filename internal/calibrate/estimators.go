@@ -1,0 +1,97 @@
+package calibrate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"modeldata/internal/stats"
+)
+
+// Estimation errors.
+var (
+	ErrNoData   = errors.New("calibrate: no observations")
+	ErrBadModel = errors.New("calibrate: invalid model specification")
+)
+
+// ExponentialMLE returns the closed-form maximum likelihood estimate
+// θ̂ₙ = 1/X̄ₙ for i.i.d. draws from f(x; θ) = θe^(−θx) — the worked
+// example of §3.1.
+func ExponentialMLE(data []float64) (float64, error) {
+	if len(data) == 0 {
+		return 0, ErrNoData
+	}
+	m := stats.Mean(data)
+	if m <= 0 {
+		return 0, fmt.Errorf("%w: nonpositive sample mean %g", ErrBadModel, m)
+	}
+	return 1 / m, nil
+}
+
+// MLE numerically maximizes the log likelihood Σᵢ log f(xᵢ; θ) over θ
+// with Nelder-Mead. logPDF must return −Inf outside the support.
+func MLE(data []float64, logPDF func(theta []float64, x float64) float64, theta0 []float64, opts NMOptions) (NMResult, error) {
+	if len(data) == 0 {
+		return NMResult{}, ErrNoData
+	}
+	if logPDF == nil {
+		return NMResult{}, fmt.Errorf("%w: nil logPDF", ErrBadModel)
+	}
+	negLL := func(theta []float64) float64 {
+		ll := 0.0
+		for _, x := range data {
+			v := logPDF(theta, x)
+			if math.IsNaN(v) {
+				return math.Inf(1)
+			}
+			ll += v
+		}
+		return -ll
+	}
+	res, err := NelderMead(negLL, theta0, opts)
+	if err != nil {
+		return res, err
+	}
+	res.F = -res.F // report the maximized log likelihood
+	return res, nil
+}
+
+// MethodOfMoments solves the moment equations Ȳ − m(θ) = 0 by
+// minimizing the squared distance ‖Ȳ − m(θ)‖² with Nelder-Mead. The
+// moments function m maps θ to the model's theoretical moment vector;
+// observed is the corresponding empirical moment vector.
+func MethodOfMoments(observed []float64, moments func(theta []float64) []float64, theta0 []float64, opts NMOptions) (NMResult, error) {
+	if len(observed) == 0 {
+		return NMResult{}, ErrNoData
+	}
+	if moments == nil {
+		return NMResult{}, fmt.Errorf("%w: nil moments function", ErrBadModel)
+	}
+	if len(observed) < len(theta0) {
+		return NMResult{}, fmt.Errorf("%w: %d moments for %d parameters", ErrBadModel, len(observed), len(theta0))
+	}
+	obj := func(theta []float64) float64 {
+		m := moments(theta)
+		if len(m) != len(observed) {
+			return math.Inf(1)
+		}
+		s := 0.0
+		for i := range m {
+			d := observed[i] - m[i]
+			s += d * d
+		}
+		return s
+	}
+	return NelderMead(obj, theta0, opts)
+}
+
+// MomentVector computes the empirical statistic vector
+// (mean, variance, lag-1 autocovariance) of a series — a standard Y
+// choice for MSM calibration of dynamic agent models.
+func MomentVector(xs []float64) []float64 {
+	out := []float64{stats.Mean(xs), stats.Variance(xs), 0}
+	if len(xs) > 1 {
+		out[2] = stats.Covariance(xs[:len(xs)-1], xs[1:])
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package composite
+
+import (
+	"fmt"
+
+	"modeldata/internal/rng"
+	"modeldata/internal/stats"
+)
+
+// §2.3 closes with the observation that a composite-modeling platform
+// is oriented toward model re-use: performance statistics 𝒮 =
+// (c₁, c₂, V₁, V₂) can live in the model metadata, be seeded by pilot
+// runs, and then "as the component models are used in production runs,
+// their behavior can be observed and used to continually refine the
+// statistics in 𝒮, and hence to continually improve performance" —
+// the analogue of refreshing relational catalog statistics. AdaptiveRC
+// implements that loop: each production batch runs at the α* implied
+// by the current statistics, observes fresh (Y1, Y2) behaviour, and
+// folds it into 𝒮 before the next batch.
+
+// AdaptiveRC is a result-caching runner that refines its statistics
+// across batches.
+type AdaptiveRC struct {
+	Model TwoStage
+	// Stats is the current estimate of 𝒮; seed it with PilotEstimate
+	// or stored metadata.
+	Stats Statistics
+	// MinAlpha truncates α* away from zero (the 1/n truncation of the
+	// paper). Default 0.01.
+	MinAlpha float64
+	// pilotV1 and pilotV2 remember the seed estimates (weighted as one
+	// pseudo-batch); sumV1/sumV2 accumulate the per-batch refinement
+	// estimates.
+	pilotV1, pilotV2 float64
+	sumV1            float64
+	sumV2            float64
+	batchesRun       int
+}
+
+// NewAdaptiveRC seeds the runner with pilot statistics.
+func NewAdaptiveRC(model TwoStage, pilotK int, seed uint64) (*AdaptiveRC, error) {
+	s, err := model.PilotEstimate(pilotK, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveRC{
+		Model: model, Stats: s, MinAlpha: 0.01,
+		pilotV1: s.V1, pilotV2: s.V2,
+	}, nil
+}
+
+// Alpha returns the currently optimal replication fraction.
+func (a *AdaptiveRC) Alpha() float64 {
+	minA := a.MinAlpha
+	if minA <= 0 {
+		minA = 0.01
+	}
+	return OptimalAlpha(a.Stats, minA)
+}
+
+// BatchResult reports one production batch.
+type BatchResult struct {
+	RCRun
+	AlphaUsed float64
+	// StatsAfter is 𝒮 after folding in the batch's observations.
+	StatsAfter Statistics
+}
+
+// RunBatch executes n replications of M2 at the current α*, then
+// refines V₁ and V₂ from paired observations gathered alongside the
+// batch (one extra M2 run per cached M1 output gives the shared-input
+// covariance sample).
+func (a *AdaptiveRC) RunBatch(n int, seed uint64) (BatchResult, error) {
+	if n < 2 {
+		return BatchResult{}, fmt.Errorf("composite: adaptive batch needs n ≥ 2, got %d", n)
+	}
+	alpha := a.Alpha()
+	run, err := a.Model.RunRC(n, alpha, seed)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	// Observation pass: fresh paired samples refine V1/V2 (cost folded
+	// into production in a real platform; explicit here).
+	r := rng.New(seed + 0x9e3779b97f4a7c15)
+	const refinePairs = 16
+	var first, second []float64
+	for i := 0; i < refinePairs; i++ {
+		y1 := a.Model.M1(r.Split())
+		first = append(first, a.Model.M2(y1, r.Split()))
+		second = append(second, a.Model.M2(y1, r.Split()))
+	}
+	v2 := stats.Covariance(first, second)
+	if v2 < 0 {
+		v2 = 0
+	}
+	all := append(append([]float64(nil), first...), second...)
+	v1 := stats.Variance(all)
+	// Running average over the pilot (one pseudo-batch) plus every
+	// production batch, so each run sharpens 𝒮 — the paper's
+	// catalog-statistics analogy.
+	a.sumV1 += v1
+	a.sumV2 += v2
+	a.batchesRun++
+	weight := float64(a.batchesRun)
+	a.Stats.V1 = (a.pilotV1 + a.sumV1) / (1 + weight)
+	a.Stats.V2 = (a.pilotV2 + a.sumV2) / (1 + weight)
+	return BatchResult{RCRun: run, AlphaUsed: alpha, StatsAfter: a.Stats}, nil
+}

@@ -1,0 +1,72 @@
+package composite
+
+import (
+	"math"
+	"testing"
+
+	"modeldata/internal/rng"
+)
+
+func TestAdaptiveRCConvergesToTrueAlpha(t *testing.T) {
+	// Y1 ~ N(0,1), Y2 = Y1 + N(0,1): V1 = 2, V2 = 1, so with c1=20,
+	// c2=1 the true α* = sqrt((1/20)/(2/1−1)) ≈ 0.2236.
+	ts := linkedStage(0, 1, 1, 20, 1)
+	trueAlpha := OptimalAlpha(Statistics{C1: 20, C2: 1, V1: 2, V2: 1}, 0.01)
+
+	// Deliberately tiny pilot: 𝒮 starts noisy.
+	a, err := NewAdaptiveRC(ts, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := rng.New(10)
+	var lastAlpha float64
+	for batch := 0; batch < 40; batch++ {
+		res, err := a.RunBatch(50, parent.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastAlpha = res.AlphaUsed
+		if res.M2Runs != 50 {
+			t.Fatalf("batch ran %d M2 replications", res.M2Runs)
+		}
+	}
+	if math.Abs(lastAlpha-trueAlpha) > 0.08 {
+		t.Fatalf("adaptive α = %g after refinement, want ≈ %g", lastAlpha, trueAlpha)
+	}
+	// Refined variances should be near truth.
+	if math.Abs(a.Stats.V1-2) > 0.4 || math.Abs(a.Stats.V2-1) > 0.3 {
+		t.Fatalf("refined stats %v, want V1≈2 V2≈1", a.Stats)
+	}
+}
+
+func TestAdaptiveRCBatchValidation(t *testing.T) {
+	ts := linkedStage(0, 1, 1, 1, 1)
+	a, err := NewAdaptiveRC(ts, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RunBatch(1, 2); err == nil {
+		t.Fatal("n=1 batch accepted")
+	}
+	if _, err := NewAdaptiveRC(ts, 1, 1); err == nil {
+		t.Fatal("pilot k=1 accepted")
+	}
+}
+
+func TestAdaptiveRCAlphaBounds(t *testing.T) {
+	ts := linkedStage(0, 1, 1, 1, 1)
+	a, err := NewAdaptiveRC(ts, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := a.Alpha()
+	if al <= 0 || al > 1 {
+		t.Fatalf("α = %g out of (0, 1]", al)
+	}
+	// Zero MinAlpha falls back to the default truncation.
+	a.MinAlpha = 0
+	a.Stats.V2 = 0
+	if got := a.Alpha(); got != 0.01 {
+		t.Fatalf("degenerate α = %g, want 0.01 floor", got)
+	}
+}

@@ -1,0 +1,20 @@
+package composite_test
+
+import (
+	"fmt"
+
+	"modeldata/internal/composite"
+)
+
+// ExampleOptimalAlpha reproduces the §2.3 closed form: with M1 twenty
+// times more expensive than M2 and half the output variance explained
+// by the shared input, cache aggressively.
+func ExampleOptimalAlpha() {
+	s := composite.Statistics{C1: 20, C2: 1, V1: 2, V2: 1}
+	alpha := composite.OptimalAlpha(s, 0.01)
+	fmt.Printf("α* = %.4f\n", alpha)
+	fmt.Printf("g(1)/g(α*) = %.2f\n", composite.GAlpha(1, s)/composite.GAlpha(alpha, s))
+	// Output:
+	// α* = 0.2236
+	// g(1)/g(α*) = 1.39
+}

@@ -1,0 +1,181 @@
+package composite
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"modeldata/internal/rng"
+)
+
+// This file implements the experiment-management capability of §4.2:
+// Splash "uses metadata to provide an experimenter with a unified view
+// of composite model parameters ... provides a facility for specifying
+// experimental designs as well as runtime support for setting parameter
+// values by automatically synthesizing, via a templating mechanism, the
+// input files that each component model expects."
+//
+// Here, a Parameter is a scalar input port of some component model;
+// the Manager binds each design point's values to those ports, runs
+// the composite once per design point, and collects a scalar response.
+// SynthesizeInput renders ${model.port} placeholders in a text template
+// — the input-file synthesis step.
+
+// Experiment-manager errors.
+var (
+	ErrNoParams  = errors.New("composite: experiment has no parameters")
+	ErrBadPoint  = errors.New("composite: design point arity does not match parameters")
+	ErrBadBounds = errors.New("composite: parameter bounds must satisfy lo < hi")
+	ErrNotScalar = errors.New("composite: experiment parameters must be scalar input ports")
+)
+
+// Parameter is one entry of the unified parameter view: a scalar input
+// port of a component model with its feasible range.
+type Parameter struct {
+	Model, Port string
+	Lo, Hi      float64
+}
+
+// Manager drives designed experiments over a composite model.
+type Manager struct {
+	Comp   *Composite
+	Params []Parameter
+	// Output names the model and port whose scalar output is the
+	// experiment response.
+	OutputModel, OutputPort string
+}
+
+// NewManager wraps a composite model.
+func NewManager(c *Composite) *Manager { return &Manager{Comp: c} }
+
+// AddParameter registers a model's scalar input port as an experiment
+// parameter with range [lo, hi].
+func (m *Manager) AddParameter(model, port string, lo, hi float64) error {
+	md, err := m.Comp.model(model)
+	if err != nil {
+		return err
+	}
+	spec, err := md.port(md.Inputs, port)
+	if err != nil {
+		return err
+	}
+	if spec.Kind != KindScalar {
+		return fmt.Errorf("%w: %s.%s is %s", ErrNotScalar, model, port, spec.Kind)
+	}
+	if lo >= hi {
+		return fmt.Errorf("%w: [%g, %g] for %s.%s", ErrBadBounds, lo, hi, model, port)
+	}
+	m.Params = append(m.Params, Parameter{Model: model, Port: port, Lo: lo, Hi: hi})
+	return nil
+}
+
+// SetOutput selects the response: a scalar output port.
+func (m *Manager) SetOutput(model, port string) error {
+	md, err := m.Comp.model(model)
+	if err != nil {
+		return err
+	}
+	spec, err := md.port(md.Outputs, port)
+	if err != nil {
+		return err
+	}
+	if spec.Kind != KindScalar {
+		return fmt.Errorf("%w: output %s.%s is %s", ErrNotScalar, model, port, spec.Kind)
+	}
+	m.OutputModel, m.OutputPort = model, port
+	return nil
+}
+
+// scale maps a coded level in [−1, +1] onto a parameter's natural
+// range.
+func (p Parameter) scale(coded float64) float64 {
+	return p.Lo + (coded+1)/2*(p.Hi-p.Lo)
+}
+
+// RunPoint executes the composite once with the given natural-unit
+// parameter values and returns the scalar response.
+func (m *Manager) RunPoint(values []float64, r *rng.Stream) (float64, error) {
+	if len(m.Params) == 0 {
+		return 0, ErrNoParams
+	}
+	if len(values) != len(m.Params) {
+		return 0, fmt.Errorf("%w: %d values for %d parameters", ErrBadPoint, len(values), len(m.Params))
+	}
+	if m.OutputModel == "" {
+		return 0, fmt.Errorf("%w: no output selected", ErrNoPort)
+	}
+	for i, p := range m.Params {
+		if err := m.Comp.Bind(p.Model, p.Port, ScalarData(p.Port, values[i])); err != nil {
+			return 0, err
+		}
+	}
+	results, err := m.Comp.Run(r)
+	if err != nil {
+		return 0, err
+	}
+	out, err := Output(results, m.OutputModel, m.OutputPort)
+	if err != nil {
+		return 0, err
+	}
+	return out.Scalar, nil
+}
+
+// RunDesign executes one composite run per design row. Rows are coded
+// levels (±1 factorial levels or any values in [−1, +1], e.g. from a
+// scaled Latin hypercube), mapped onto each parameter's natural range.
+// Each run gets an independent random stream split from seed.
+func (m *Manager) RunDesign(coded [][]float64, seed uint64) ([]float64, error) {
+	parent := rng.New(seed)
+	out := make([]float64, len(coded))
+	for i, row := range coded {
+		if len(row) != len(m.Params) {
+			return nil, fmt.Errorf("%w: row %d has %d values for %d parameters",
+				ErrBadPoint, i, len(row), len(m.Params))
+		}
+		natural := make([]float64, len(row))
+		for j, c := range row {
+			natural[j] = m.Params[j].scale(c)
+		}
+		v, err := m.RunPoint(natural, parent.Split())
+		if err != nil {
+			return nil, fmt.Errorf("composite: design row %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SynthesizeInput renders a component model's input-file template:
+// every ${model.port} placeholder is replaced with the parameter value
+// from the (natural-unit) design point. Unknown placeholders are an
+// error — they indicate a metadata mismatch.
+func (m *Manager) SynthesizeInput(tmpl string, values []float64) (string, error) {
+	if len(values) != len(m.Params) {
+		return "", fmt.Errorf("%w: %d values for %d parameters", ErrBadPoint, len(values), len(m.Params))
+	}
+	lookup := make(map[string]float64, len(m.Params))
+	for i, p := range m.Params {
+		lookup[strings.ToLower(p.Model+"."+p.Port)] = values[i]
+	}
+	var b strings.Builder
+	for i := 0; i < len(tmpl); {
+		j := strings.Index(tmpl[i:], "${")
+		if j < 0 {
+			b.WriteString(tmpl[i:])
+			break
+		}
+		b.WriteString(tmpl[i : i+j])
+		end := strings.Index(tmpl[i+j:], "}")
+		if end < 0 {
+			return "", fmt.Errorf("composite: unterminated placeholder at offset %d", i+j)
+		}
+		key := strings.ToLower(tmpl[i+j+2 : i+j+end])
+		v, ok := lookup[key]
+		if !ok {
+			return "", fmt.Errorf("composite: unknown parameter placeholder %q", key)
+		}
+		fmt.Fprintf(&b, "%g", v)
+		i += j + end + 1
+	}
+	return b.String(), nil
+}

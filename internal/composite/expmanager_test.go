@@ -1,0 +1,186 @@
+package composite
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"modeldata/internal/doe"
+	"modeldata/internal/rng"
+)
+
+// responseComposite builds a two-model composite whose final scalar
+// output is a known function of three experiment parameters:
+// upstream computes u = 2a − b (+ small noise), downstream outputs
+// y = u + 3c.
+func responseComposite(t *testing.T, noise float64) *Composite {
+	t.Helper()
+	up := &Model{
+		Name: "upstream",
+		Inputs: []PortSpec{
+			{Name: "a", Kind: KindScalar},
+			{Name: "b", Kind: KindScalar},
+		},
+		Outputs: []PortSpec{{Name: "u", Kind: KindScalar}},
+		Run: func(in map[string]Dataset, r *rng.Stream) (map[string]Dataset, error) {
+			u := 2*in["a"].Scalar - in["b"].Scalar + r.Normal(0, noise)
+			return map[string]Dataset{"u": ScalarData("u", u)}, nil
+		},
+	}
+	down := &Model{
+		Name: "downstream",
+		Inputs: []PortSpec{
+			{Name: "u", Kind: KindScalar},
+			{Name: "c", Kind: KindScalar},
+		},
+		Outputs: []PortSpec{{Name: "y", Kind: KindScalar}},
+		Run: func(in map[string]Dataset, r *rng.Stream) (map[string]Dataset, error) {
+			return map[string]Dataset{"y": ScalarData("y", in["u"].Scalar+3*in["c"].Scalar)}, nil
+		},
+	}
+	c := NewComposite()
+	if err := c.Register(up); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(down); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Connect("upstream", "u", "downstream", "u"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func managerFixture(t *testing.T, noise float64) *Manager {
+	t.Helper()
+	m := NewManager(responseComposite(t, noise))
+	if err := m.AddParameter("upstream", "a", -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddParameter("upstream", "b", -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddParameter("downstream", "c", -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetOutput("downstream", "y"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagerRunPoint(t *testing.T) {
+	m := managerFixture(t, 0)
+	y, err := m.RunPoint([]float64{1, 1, 1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y-4) > 1e-12 { // 2·1 − 1 + 3·1
+		t.Fatalf("y = %g, want 4", y)
+	}
+}
+
+func TestManagerRunDesignMainEffects(t *testing.T) {
+	// §4.2 end-to-end: run a factorial design over the composite's
+	// unified parameter view and recover the main effects.
+	m := managerFixture(t, 0.01)
+	design, err := doe.FullFactorial(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := m.RunDesign(design.Points(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effects, err := doe.MainEffects(design, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effects (high − low) = 2β on the ±1 scale: 4, −2, 6.
+	want := []float64{4, -2, 6}
+	for j, e := range effects {
+		if math.Abs(e.Effect-want[j]) > 0.1 {
+			t.Fatalf("factor %d effect = %g, want %g", j, e.Effect, want[j])
+		}
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	c := responseComposite(t, 0)
+	m := NewManager(c)
+	if _, err := m.RunPoint([]float64{1}, rng.New(1)); !errors.Is(err, ErrNoParams) {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.AddParameter("upstream", "nope", 0, 1); !errors.Is(err, ErrNoPort) {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.AddParameter("nope", "a", 0, 1); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.AddParameter("upstream", "a", 1, 1); !errors.Is(err, ErrBadBounds) {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.SetOutput("downstream", "nope"); !errors.Is(err, ErrNoPort) {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.AddParameter("upstream", "a", -1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.RunPoint([]float64{1, 2}, rng.New(1)); !errors.Is(err, ErrBadPoint) {
+		t.Fatalf("got %v", err)
+	}
+	// Output not set.
+	if _, err := m.RunPoint([]float64{1}, rng.New(1)); !errors.Is(err, ErrNoPort) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := m.RunDesign([][]float64{{1, 2}}, 1); !errors.Is(err, ErrBadPoint) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestManagerNonScalarPortRejected(t *testing.T) {
+	c := NewComposite()
+	md := &Model{
+		Name:    "m",
+		Inputs:  []PortSpec{{Name: "s", Kind: KindSeries}},
+		Outputs: []PortSpec{{Name: "o", Kind: KindSeries}},
+		Run:     func(map[string]Dataset, *rng.Stream) (map[string]Dataset, error) { return nil, nil },
+	}
+	if err := c.Register(md); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c)
+	if err := m.AddParameter("m", "s", 0, 1); !errors.Is(err, ErrNotScalar) {
+		t.Fatalf("got %v", err)
+	}
+	if err := m.SetOutput("m", "o"); !errors.Is(err, ErrNotScalar) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSynthesizeInput(t *testing.T) {
+	m := managerFixture(t, 0)
+	tmpl := "accel=${upstream.a}\nbrake=${UPSTREAM.B}\ngain=${downstream.c}\n"
+	out, err := m.SynthesizeInput(tmpl, []float64{0.25, -1.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "accel=0.25\nbrake=-1.5\ngain=3\n"
+	if out != want {
+		t.Fatalf("synthesized = %q, want %q", out, want)
+	}
+	if _, err := m.SynthesizeInput("${unknown.param}", []float64{1, 2, 3}); err == nil {
+		t.Fatal("unknown placeholder accepted")
+	}
+	if _, err := m.SynthesizeInput("${upstream.a", []float64{1, 2, 3}); err == nil {
+		t.Fatal("unterminated placeholder accepted")
+	}
+	if _, err := m.SynthesizeInput("x", []float64{1}); !errors.Is(err, ErrBadPoint) {
+		t.Fatalf("got %v", err)
+	}
+	// Template with no placeholders passes through.
+	out, err = m.SynthesizeInput("static", []float64{1, 2, 3})
+	if err != nil || out != "static" {
+		t.Fatalf("static template: %q, %v", out, err)
+	}
+}

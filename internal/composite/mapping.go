@@ -1,0 +1,149 @@
+package composite
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"modeldata/internal/engine"
+)
+
+// §2.2: "To specify schema transformations, Splash uses Clio++, an
+// extension of the Clio schema mapping tool to allow users to
+// graphically define a schema mapping." The plain Connect call handles
+// the identity case (projection onto matching column names); this file
+// adds the general mapping: target columns drawn from renamed source
+// columns or computed from whole source rows, compiled once into a
+// runtime Transform.
+
+// Mapping errors.
+var ErrBadMapping = errors.New("composite: invalid schema mapping")
+
+// SchemaMapping declares how a target table port's columns are
+// produced from a source table port.
+type SchemaMapping struct {
+	// Renames maps target column name → source column name. Target
+	// columns absent from both Renames and Derived must exist in the
+	// source under their own name.
+	Renames map[string]string
+	// Derived maps target column name → a computed column: a function
+	// of the full source row plus the type of the produced value.
+	Derived map[string]DerivedColumn
+}
+
+// DerivedColumn computes one target column value from a source row.
+type DerivedColumn struct {
+	Type engine.Type
+	Fn   func(src engine.Row) engine.Value
+}
+
+// ConnectWithMapping wires a table output port to a table input port
+// through an explicit Clio-style mapping. The mapping is validated
+// against the port metadata at connect time — unknown source columns
+// or uncovered target columns are ErrBadMapping — and compiled into the
+// edge's Transform.
+func (c *Composite) ConnectWithMapping(fromModel, fromPort, toModel, toPort string, mapping SchemaMapping) error {
+	src, err := c.model(fromModel)
+	if err != nil {
+		return err
+	}
+	dst, err := c.model(toModel)
+	if err != nil {
+		return err
+	}
+	srcSpec, err := src.port(src.Outputs, fromPort)
+	if err != nil {
+		return err
+	}
+	dstSpec, err := dst.port(dst.Inputs, toPort)
+	if err != nil {
+		return err
+	}
+	if srcSpec.Kind != KindTable || dstSpec.Kind != KindTable {
+		return fmt.Errorf("%w: schema mapping requires table ports (%s → %s)",
+			ErrBadMapping, srcSpec.Kind, dstSpec.Kind)
+	}
+	for _, e := range c.edges {
+		if e.toModel == strings.ToLower(toModel) && e.toPort == strings.ToLower(toPort) {
+			return fmt.Errorf("%w: %s.%s", ErrDupConnect, toModel, toPort)
+		}
+	}
+	srcCols := make(map[string]bool, len(srcSpec.Columns))
+	for _, col := range srcSpec.Columns {
+		srcCols[strings.ToLower(col)] = true
+	}
+	// Validate coverage of every target column and build the plan.
+	type colPlan struct {
+		name    string
+		srcName string // "" for derived
+		derived *DerivedColumn
+	}
+	var plan []colPlan
+	for _, target := range dstSpec.Columns {
+		key := target
+		if d, ok := mapping.Derived[target]; ok {
+			if d.Fn == nil {
+				return fmt.Errorf("%w: derived column %q has nil Fn", ErrBadMapping, target)
+			}
+			d := d
+			plan = append(plan, colPlan{name: target, derived: &d})
+			continue
+		}
+		srcName := key
+		if renamed, ok := mapping.Renames[target]; ok {
+			srcName = renamed
+		}
+		if !srcCols[strings.ToLower(srcName)] {
+			return fmt.Errorf("%w: target column %q needs source column %q, not produced by %s.%s",
+				ErrBadMapping, target, srcName, fromModel, fromPort)
+		}
+		plan = append(plan, colPlan{name: target, srcName: srcName})
+	}
+	transform := func(ds Dataset) (Dataset, error) {
+		if ds.Table == nil {
+			return ds, fmt.Errorf("%w: table dataset %q has nil payload", ErrPayload, ds.Name)
+		}
+		srcTable := ds.Table
+		schema := make(engine.Schema, len(plan))
+		srcIdx := make([]int, len(plan))
+		for i, p := range plan {
+			if p.derived != nil {
+				schema[i] = engine.Column{Name: p.name, Type: p.derived.Type}
+				srcIdx[i] = -1
+				continue
+			}
+			j, err := srcTable.ColIndex(p.srcName)
+			if err != nil {
+				return ds, err
+			}
+			schema[i] = engine.Column{Name: p.name, Type: srcTable.Schema[j].Type}
+			srcIdx[i] = j
+		}
+		out, err := engine.NewTable(srcTable.Name, schema)
+		if err != nil {
+			return ds, err
+		}
+		for _, row := range srcTable.Rows {
+			nr := make(engine.Row, len(plan))
+			for i, p := range plan {
+				if p.derived != nil {
+					nr[i] = p.derived.Fn(row)
+				} else {
+					nr[i] = row[srcIdx[i]]
+				}
+			}
+			if err := out.Insert(nr); err != nil {
+				return ds, err
+			}
+		}
+		res := ds
+		res.Table = out
+		return res, nil
+	}
+	c.edges = append(c.edges, edge{
+		fromModel: strings.ToLower(fromModel), fromPort: strings.ToLower(fromPort),
+		toModel: strings.ToLower(toModel), toPort: strings.ToLower(toPort),
+		transform: transform,
+	})
+	return nil
+}

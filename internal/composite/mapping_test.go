@@ -1,0 +1,141 @@
+package composite
+
+import (
+	"errors"
+	"testing"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/rng"
+)
+
+// mappingFixture: a census model emits (person_id, years, wage); an
+// epi model expects (pid, age, adult).
+func mappingFixture(t *testing.T) *Composite {
+	t.Helper()
+	producer := &Model{
+		Name: "census",
+		Outputs: []PortSpec{{
+			Name: "people", Kind: KindTable,
+			Columns: []string{"person_id", "years", "wage"},
+		}},
+		Run: func(_ map[string]Dataset, r *rng.Stream) (map[string]Dataset, error) {
+			tbl := engine.MustNewTable("people", engine.Schema{
+				{Name: "person_id", Type: engine.TypeInt},
+				{Name: "years", Type: engine.TypeInt},
+				{Name: "wage", Type: engine.TypeFloat},
+			})
+			tbl.MustInsert(engine.Int(1), engine.Int(30), engine.Float(100))
+			tbl.MustInsert(engine.Int(2), engine.Int(3), engine.Float(0))
+			return map[string]Dataset{"people": TableData("people", tbl)}, nil
+		},
+	}
+	consumer := &Model{
+		Name: "epi",
+		Inputs: []PortSpec{{
+			Name: "pop", Kind: KindTable, Columns: []string{"pid", "age", "adult"},
+		}},
+		Outputs: []PortSpec{{Name: "adults", Kind: KindScalar}},
+		Run: func(in map[string]Dataset, r *rng.Stream) (map[string]Dataset, error) {
+			tbl := in["pop"].Table
+			adultIdx, err := tbl.ColIndex("adult")
+			if err != nil {
+				return nil, err
+			}
+			n := 0.0
+			for _, row := range tbl.Rows {
+				if row[adultIdx].AsBool() {
+					n++
+				}
+			}
+			return map[string]Dataset{"adults": ScalarData("adults", n)}, nil
+		},
+	}
+	c := NewComposite()
+	if err := c.Register(producer); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(consumer); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func standardMapping() SchemaMapping {
+	return SchemaMapping{
+		Renames: map[string]string{"pid": "person_id", "age": "years"},
+		Derived: map[string]DerivedColumn{
+			"adult": {
+				Type: engine.TypeBool,
+				Fn: func(src engine.Row) engine.Value {
+					return engine.Bool(src[1].AsInt() >= 18)
+				},
+			},
+		},
+	}
+}
+
+func TestConnectWithMappingEndToEnd(t *testing.T) {
+	c := mappingFixture(t)
+	if err := c.ConnectWithMapping("census", "people", "epi", "pop", standardMapping()); err != nil {
+		t.Fatal(err)
+	}
+	results, err := c.Run(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Output(results, "epi", "adults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Scalar != 1 {
+		t.Fatalf("adults = %g, want 1", out.Scalar)
+	}
+}
+
+func TestConnectWithMappingValidation(t *testing.T) {
+	c := mappingFixture(t)
+	// Uncovered target column.
+	bad := SchemaMapping{Renames: map[string]string{"pid": "person_id"}}
+	if err := c.ConnectWithMapping("census", "people", "epi", "pop", bad); !errors.Is(err, ErrBadMapping) {
+		t.Fatalf("got %v", err)
+	}
+	// Rename to a nonexistent source column.
+	bad2 := standardMapping()
+	bad2.Renames["age"] = "nope"
+	if err := c.ConnectWithMapping("census", "people", "epi", "pop", bad2); !errors.Is(err, ErrBadMapping) {
+		t.Fatalf("got %v", err)
+	}
+	// Nil derived function.
+	bad3 := standardMapping()
+	bad3.Derived["adult"] = DerivedColumn{Type: engine.TypeBool}
+	if err := c.ConnectWithMapping("census", "people", "epi", "pop", bad3); !errors.Is(err, ErrBadMapping) {
+		t.Fatalf("got %v", err)
+	}
+	// Unknown models/ports.
+	if err := c.ConnectWithMapping("nope", "people", "epi", "pop", standardMapping()); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("got %v", err)
+	}
+	if err := c.ConnectWithMapping("census", "nope", "epi", "pop", standardMapping()); !errors.Is(err, ErrNoPort) {
+		t.Fatalf("got %v", err)
+	}
+	// Scalar ports rejected.
+	d := &Model{
+		Name:    "scal",
+		Inputs:  []PortSpec{{Name: "i", Kind: KindScalar}},
+		Outputs: []PortSpec{{Name: "o", Kind: KindScalar}},
+		Run:     func(map[string]Dataset, *rng.Stream) (map[string]Dataset, error) { return nil, nil },
+	}
+	if err := c.Register(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConnectWithMapping("scal", "o", "epi", "pop", standardMapping()); !errors.Is(err, ErrBadMapping) {
+		t.Fatalf("got %v", err)
+	}
+	// Duplicate connect on the same input port.
+	if err := c.ConnectWithMapping("census", "people", "epi", "pop", standardMapping()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConnectWithMapping("census", "people", "epi", "pop", standardMapping()); !errors.Is(err, ErrDupConnect) {
+		t.Fatalf("got %v", err)
+	}
+}

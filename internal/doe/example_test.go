@@ -1,0 +1,49 @@
+package doe_test
+
+import (
+	"fmt"
+
+	"modeldata/internal/doe"
+)
+
+// ExampleResolutionIII7 prints the Figure 3 design verbatim.
+func ExampleResolutionIII7() {
+	d := doe.ResolutionIII7()
+	for _, run := range d.Runs {
+		for j, v := range run {
+			if j > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%+d", v)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// -1 -1 -1 +1 +1 +1 -1
+	// +1 -1 -1 -1 -1 +1 +1
+	// -1 +1 -1 -1 +1 -1 +1
+	// +1 +1 -1 +1 -1 -1 -1
+	// -1 -1 +1 +1 -1 -1 +1
+	// +1 -1 +1 -1 +1 -1 -1
+	// -1 +1 +1 -1 -1 +1 -1
+	// +1 +1 +1 +1 +1 +1 +1
+}
+
+// ExampleResolution computes a design's resolution from its defining
+// relation.
+func ExampleResolution() {
+	// Figure 3's generators: D=AB, E=AC, F=BC, G=ABC.
+	gens := []doe.Generator{
+		{Factor: 3, Words: []int{0, 1}},
+		{Factor: 4, Words: []int{0, 2}},
+		{Factor: 5, Words: []int{1, 2}},
+		{Factor: 6, Words: []int{0, 1, 2}},
+	}
+	res, err := doe.Resolution(7, gens)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("resolution:", res)
+	// Output:
+	// resolution: 3
+}

@@ -1,0 +1,148 @@
+package doe
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file computes the resolution of a fractional factorial from its
+// defining relation, and provides further standard designs: Plackett-
+// Burman screening designs and preset minimum-aberration fractions for
+// 4–8 factors. Resolution is the length of the shortest word in the
+// defining relation: resolution III designs alias main effects with
+// two-factor interactions, IV de-aliases main effects, V de-aliases
+// two-factor interactions from each other (§4.2).
+
+// DefiningWords returns the defining relation of a fractional
+// factorial given its generators: every product of a non-empty subset
+// of the generator words I = (factor · word-product). Each word is the
+// sorted factor-index set of one relation element.
+func DefiningWords(n int, gens []Generator) ([][]int, error) {
+	if len(gens) == 0 {
+		return nil, nil
+	}
+	// Represent words as bitmasks over factors.
+	base := make([]uint64, len(gens))
+	for i, g := range gens {
+		if g.Factor < 0 || g.Factor >= n || n > 63 {
+			return nil, fmt.Errorf("%w: generator %d", ErrBadDesign, i)
+		}
+		var mask uint64 = 1 << uint(g.Factor)
+		for _, w := range g.Words {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("%w: generator word %d", ErrBadDesign, w)
+			}
+			mask ^= 1 << uint(w)
+		}
+		base[i] = mask
+	}
+	var words [][]int
+	for subset := 1; subset < 1<<len(gens); subset++ {
+		var mask uint64
+		for i := range base {
+			if subset&(1<<i) != 0 {
+				mask ^= base[i]
+			}
+		}
+		var word []int
+		for f := 0; f < n; f++ {
+			if mask&(1<<uint(f)) != 0 {
+				word = append(word, f)
+			}
+		}
+		words = append(words, word)
+	}
+	sort.Slice(words, func(i, j int) bool { return len(words[i]) < len(words[j]) })
+	return words, nil
+}
+
+// Resolution returns the design resolution implied by the generators:
+// the length of the shortest defining word. A full factorial (no
+// generators) returns 0 ("unlimited").
+func Resolution(n int, gens []Generator) (int, error) {
+	words, err := DefiningWords(n, gens)
+	if err != nil {
+		return 0, err
+	}
+	if len(words) == 0 {
+		return 0, nil
+	}
+	return len(words[0]), nil
+}
+
+// WordLengthPattern returns the number of defining words of each
+// length 1..n — the aberration profile used to compare designs of
+// equal resolution.
+func WordLengthPattern(n int, gens []Generator) ([]int, error) {
+	words, err := DefiningWords(n, gens)
+	if err != nil {
+		return nil, err
+	}
+	pattern := make([]int, n+1)
+	for _, w := range words {
+		pattern[len(w)]++
+	}
+	return pattern, nil
+}
+
+// standardGenerators holds minimum-aberration generator sets for
+// common 2^(n−p) fractions (Box, Hunter & Hunter / Montgomery tables).
+// Key: [factors, runs].
+var standardGenerators = map[[2]int][]Generator{
+	{4, 8}:  {{Factor: 3, Words: []int{0, 1, 2}}},                                                                                                             // 2^(4−1) IV
+	{5, 16}: {{Factor: 4, Words: []int{0, 1, 2, 3}}},                                                                                                          // 2^(5−1) V
+	{5, 8}:  {{Factor: 3, Words: []int{0, 1}}, {Factor: 4, Words: []int{0, 2}}},                                                                               // 2^(5−2) III
+	{6, 32}: {{Factor: 5, Words: []int{0, 1, 2, 3, 4}}},                                                                                                       // 2^(6−1) VI
+	{6, 16}: {{Factor: 4, Words: []int{0, 1, 2}}, {Factor: 5, Words: []int{1, 2, 3}}},                                                                         // 2^(6−2) IV
+	{6, 8}:  {{Factor: 3, Words: []int{0, 1}}, {Factor: 4, Words: []int{0, 2}}, {Factor: 5, Words: []int{1, 2}}},                                              // 2^(6−3) III
+	{7, 64}: {{Factor: 6, Words: []int{0, 1, 2, 3, 4, 5}}},                                                                                                    // 2^(7−1) VII
+	{7, 32}: {{Factor: 5, Words: []int{0, 1, 2, 3}}, {Factor: 6, Words: []int{0, 1, 3, 4}}},                                                                   // 2^(7−2) IV
+	{7, 16}: {{Factor: 4, Words: []int{0, 1, 2}}, {Factor: 5, Words: []int{1, 2, 3}}, {Factor: 6, Words: []int{0, 2, 3}}},                                     // 2^(7−3) IV
+	{8, 16}: {{Factor: 4, Words: []int{1, 2, 3}}, {Factor: 5, Words: []int{0, 2, 3}}, {Factor: 6, Words: []int{0, 1, 3}}, {Factor: 7, Words: []int{0, 1, 2}}}, // 2^(8−4) IV
+	{8, 32}: {{Factor: 5, Words: []int{0, 1, 2}}, {Factor: 6, Words: []int{0, 1, 3}}, {Factor: 7, Words: []int{1, 2, 3, 4}}},                                  // 2^(8−3) IV
+	{8, 64}: {{Factor: 6, Words: []int{0, 1, 2, 3}}, {Factor: 7, Words: []int{0, 1, 4, 5}}},                                                                   // 2^(8−2) V
+}
+
+// StandardFraction builds the standard minimum-aberration 2^(n−p)
+// design with the given number of factors and runs, or ErrNoDesign if
+// no preset is registered.
+func StandardFraction(factors, runs int) (*Design, []Generator, error) {
+	gens, ok := standardGenerators[[2]int{factors, runs}]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: no standard 2^(n−p) fraction for %d factors in %d runs",
+			ErrNoDesign, factors, runs)
+	}
+	d, err := FractionalFactorial(factors, gens)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, gens, nil
+}
+
+// pb12FirstRow is the cyclic first row of the 12-run Plackett-Burman
+// design.
+var pb12FirstRow = []int{1, 1, -1, 1, 1, 1, -1, -1, -1, 1, -1}
+
+// PlackettBurman12 builds the 12-run Plackett-Burman screening design
+// for up to 11 factors: rows 1–11 are cyclic shifts of the generating
+// row; row 12 is all −1. Plackett-Burman designs are the saturated
+// resolution III screens used when 2^(n−p) sizes are too coarse.
+func PlackettBurman12(factors int) (*Design, error) {
+	if factors < 1 || factors > 11 {
+		return nil, fmt.Errorf("%w: PB12 supports 1–11 factors, got %d", ErrBadFactors, factors)
+	}
+	d := &Design{Factors: factors}
+	for r := 0; r < 11; r++ {
+		row := make([]int, factors)
+		for j := 0; j < factors; j++ {
+			row[j] = pb12FirstRow[(j+11-r)%11]
+		}
+		d.Runs = append(d.Runs, row)
+	}
+	last := make([]int, factors)
+	for j := range last {
+		last[j] = -1
+	}
+	d.Runs = append(d.Runs, last)
+	return d, nil
+}

@@ -1,0 +1,216 @@
+package doe
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestResolutionOfKnownDesigns(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		gens []Generator
+		want int
+	}{
+		{
+			name: "2^(7-4) III (Figure 3)",
+			n:    7,
+			gens: []Generator{
+				{Factor: 3, Words: []int{0, 1}},
+				{Factor: 4, Words: []int{0, 2}},
+				{Factor: 5, Words: []int{1, 2}},
+				{Factor: 6, Words: []int{0, 1, 2}},
+			},
+			want: 3,
+		},
+		{
+			name: "2^(4-1) IV",
+			n:    4,
+			gens: []Generator{{Factor: 3, Words: []int{0, 1, 2}}},
+			want: 4,
+		},
+		{
+			name: "2^(5-1) V",
+			n:    5,
+			gens: []Generator{{Factor: 4, Words: []int{0, 1, 2, 3}}},
+			want: 5,
+		},
+		{
+			name: "2^(7-1) VII",
+			n:    7,
+			gens: []Generator{{Factor: 6, Words: []int{0, 1, 2, 3, 4, 5}}},
+			want: 7,
+		},
+		{
+			name: "2^(7-2) IV (the 32-run design)",
+			n:    7,
+			gens: []Generator{
+				{Factor: 5, Words: []int{0, 1, 2, 3}},
+				{Factor: 6, Words: []int{0, 1, 3, 4}},
+			},
+			want: 4,
+		},
+	}
+	for _, c := range cases {
+		got, err := Resolution(c.n, c.gens)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: resolution = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestResolutionFullFactorial(t *testing.T) {
+	got, err := Resolution(5, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("full factorial resolution = %d err=%v", got, err)
+	}
+}
+
+func TestDefiningWordsCount(t *testing.T) {
+	// p generators ⇒ 2^p − 1 defining words.
+	gens := []Generator{
+		{Factor: 3, Words: []int{0, 1}},
+		{Factor: 4, Words: []int{0, 2}},
+		{Factor: 5, Words: []int{1, 2}},
+		{Factor: 6, Words: []int{0, 1, 2}},
+	}
+	words, err := DefiningWords(7, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 15 {
+		t.Fatalf("defining words = %d, want 15", len(words))
+	}
+	// Sorted by length; the shortest must be length 3 for this III
+	// design.
+	if len(words[0]) != 3 {
+		t.Fatalf("shortest word = %v", words[0])
+	}
+}
+
+func TestWordLengthPattern(t *testing.T) {
+	gens := []Generator{{Factor: 3, Words: []int{0, 1, 2}}}
+	pattern, err := WordLengthPattern(4, gens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single generator: one word of length 4.
+	for l, count := range pattern {
+		want := 0
+		if l == 4 {
+			want = 1
+		}
+		if count != want {
+			t.Fatalf("pattern[%d] = %d", l, count)
+		}
+	}
+}
+
+func TestDefiningWordsErrors(t *testing.T) {
+	if _, err := DefiningWords(3, []Generator{{Factor: 9, Words: []int{0}}}); !errors.Is(err, ErrBadDesign) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := DefiningWords(3, []Generator{{Factor: 2, Words: []int{9}}}); !errors.Is(err, ErrBadDesign) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStandardFractions(t *testing.T) {
+	cases := []struct {
+		factors, runs, wantRes int
+	}{
+		{4, 8, 4},
+		{5, 16, 5},
+		{5, 8, 3},
+		{6, 32, 6},
+		{6, 16, 4},
+		{6, 8, 3},
+		{7, 64, 7},
+		{7, 32, 4},
+		{7, 16, 4},
+		{8, 16, 4},
+		{8, 32, 4},
+		{8, 64, 5},
+	}
+	for _, c := range cases {
+		d, gens, err := StandardFraction(c.factors, c.runs)
+		if err != nil {
+			t.Fatalf("%d factors / %d runs: %v", c.factors, c.runs, err)
+		}
+		if d.NumRuns() != c.runs || d.Factors != c.factors {
+			t.Fatalf("%d/%d: shape %d×%d", c.factors, c.runs, d.NumRuns(), d.Factors)
+		}
+		if !d.ColumnsOrthogonal() || !d.Balanced() {
+			t.Fatalf("%d/%d: not orthogonal/balanced", c.factors, c.runs)
+		}
+		res, err := Resolution(c.factors, gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != c.wantRes {
+			t.Errorf("%d factors / %d runs: resolution %d, want %d", c.factors, c.runs, res, c.wantRes)
+		}
+	}
+	if _, _, err := StandardFraction(9, 8); !errors.Is(err, ErrNoDesign) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPlackettBurman12(t *testing.T) {
+	d, err := PlackettBurman12(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRuns() != 12 || d.Factors != 11 {
+		t.Fatalf("shape %d×%d", d.NumRuns(), d.Factors)
+	}
+	if !d.ColumnsOrthogonal() {
+		t.Fatal("PB12 columns not orthogonal")
+	}
+	if !d.Balanced() {
+		t.Fatal("PB12 columns not balanced")
+	}
+	// Fewer factors reuse the leading columns.
+	d5, err := PlackettBurman12(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d5.Factors != 5 || !d5.ColumnsOrthogonal() {
+		t.Fatal("PB12(5) invalid")
+	}
+	if _, err := PlackettBurman12(12); !errors.Is(err, ErrBadFactors) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := PlackettBurman12(0); !errors.Is(err, ErrBadFactors) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPlackettBurmanEstimatesElevenMainEffects(t *testing.T) {
+	// A saturated screen: 12 runs estimate 11 main effects.
+	d, err := PlackettBurman12(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := []float64{1, 0, 2, 0, 0, -3, 0, 0, 0, 4, 0}
+	y := make([]float64, d.NumRuns())
+	for i, run := range d.Runs {
+		v := 0.0
+		for j, b := range beta {
+			v += b * float64(run[j])
+		}
+		y[i] = v
+	}
+	effects, err := MainEffects(d, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, e := range effects {
+		if diff := e.Effect - 2*beta[j]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("factor %d effect %g, want %g", j, e.Effect, 2*beta[j])
+		}
+	}
+}

@@ -1,0 +1,505 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func peopleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := MustNewTable("person", Schema{
+		{Name: "pid", Type: TypeInt},
+		{Name: "name", Type: TypeString},
+		{Name: "age", Type: TypeInt},
+		{Name: "income", Type: TypeFloat},
+	})
+	tbl.MustInsert(Int(1), Str("ann"), Int(3), Float(0))
+	tbl.MustInsert(Int(2), Str("bob"), Int(34), Float(52000))
+	tbl.MustInsert(Int(3), Str("cal"), Int(4), Float(0))
+	tbl.MustInsert(Int(4), Str("dee"), Int(61), Float(31000))
+	tbl.MustInsert(Int(5), Str("eve"), Int(29), Float(78000))
+	return tbl
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 || Float(2.5).AsFloat() != 2.5 ||
+		Str("x").AsString() != "x" || !Bool(true).AsBool() {
+		t.Fatal("accessors broken")
+	}
+	if Float(9.9).AsInt() != 9 {
+		t.Fatal("float truncation broken")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Fatal("int widening broken")
+	}
+}
+
+func TestValuePanicsOnWrongType(t *testing.T) {
+	cases := []func(){
+		func() { Str("x").AsInt() },
+		func() { Bool(true).AsFloat() },
+		func() { Int(1).AsString() },
+		func() { Float(1).AsBool() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3)) || Int(3).Equal(Float(3.5)) {
+		t.Fatal("numeric cross-type equality broken")
+	}
+	if Int(1).Equal(Str("1")) {
+		t.Fatal("int should not equal string")
+	}
+	if Int(3).Key() != Float(3).Key() {
+		t.Fatal("numeric keys should match")
+	}
+}
+
+func TestValueLessTotalOrderProperty(t *testing.T) {
+	err := quick.Check(func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		// Exactly one of <, =, > holds.
+		n := 0
+		if va.Less(vb) {
+			n++
+		}
+		if vb.Less(va) {
+			n++
+		}
+		if va.Equal(vb) {
+			n++
+		}
+		return n == 1
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	_, err := NewTable("t", Schema{{Name: "a", Type: TypeInt}, {Name: "A", Type: TypeInt}})
+	if !errors.Is(err, ErrDupeColumn) {
+		t.Fatalf("got %v, want ErrDupeColumn", err)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tbl := MustNewTable("t", Schema{{Name: "a", Type: TypeInt}})
+	if err := tbl.Insert(Row{Str("nope")}); !errors.Is(err, ErrTypeClash) {
+		t.Fatalf("got %v, want ErrTypeClash", err)
+	}
+	if err := tbl.Insert(Row{Int(1), Int(2)}); !errors.Is(err, ErrArity) {
+		t.Fatalf("got %v, want ErrArity", err)
+	}
+}
+
+func TestInsertIntWidensToFloat(t *testing.T) {
+	tbl := MustNewTable("t", Schema{{Name: "x", Type: TypeFloat}})
+	if err := tbl.Insert(Row{Int(5)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0].Type() != TypeFloat || tbl.Rows[0][0].AsFloat() != 5 {
+		t.Fatal("int was not widened to float")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	p := peopleTable(t)
+	kids := Select(p, func(r Row) bool { return r[2].AsInt() <= 4 })
+	if kids.Len() != 2 {
+		t.Fatalf("kids = %d rows", kids.Len())
+	}
+	names, err := Project(kids, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names.Schema) != 1 || names.Rows[0][0].AsString() != "ann" {
+		t.Fatalf("project wrong: %v", names)
+	}
+	if _, err := Project(p, "nope"); !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("got %v, want ErrNoColumn", err)
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	p := peopleTable(t)
+	orders := MustNewTable("orders", Schema{
+		{Name: "pid", Type: TypeInt},
+		{Name: "amount", Type: TypeFloat},
+	})
+	orders.MustInsert(Int(2), Float(10))
+	orders.MustInsert(Int(2), Float(20))
+	orders.MustInsert(Int(5), Float(5))
+	orders.MustInsert(Int(99), Float(1)) // dangling
+
+	j, err := EquiJoin(p, orders, "pid", "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Fatalf("join rows = %d, want 3", j.Len())
+	}
+	if _, err := j.ColIndex("person.name"); err != nil {
+		t.Fatalf("prefixed column missing: %v", err)
+	}
+	// Join columns carry correct pairing.
+	for _, r := range j.Rows {
+		pidL, _ := j.ColIndex("person.pid")
+		pidR, _ := j.ColIndex("orders.pid")
+		if !r[pidL].Equal(r[pidR]) {
+			t.Fatal("join produced mismatched keys")
+		}
+	}
+}
+
+func TestEquiJoinBuildSideSymmetry(t *testing.T) {
+	// The hash join picks the smaller side to build; results must not
+	// depend on which side that is.
+	small := MustNewTable("s", Schema{{Name: "k", Type: TypeInt}})
+	small.MustInsert(Int(1))
+	big := MustNewTable("b", Schema{{Name: "k", Type: TypeInt}})
+	for i := 0; i < 10; i++ {
+		big.MustInsert(Int(int64(i % 2)))
+	}
+	j1, err := EquiJoin(small, big, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := EquiJoin(big, small, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.Len() != 5 || j2.Len() != 5 {
+		t.Fatalf("asymmetric join: %d vs %d", j1.Len(), j2.Len())
+	}
+	// Left columns of j1 must come from "s".
+	if j1.Schema[0].Name != "s.k" || j2.Schema[0].Name != "b.k" {
+		t.Fatalf("schemas: %v / %v", j1.Schema, j2.Schema)
+	}
+}
+
+func TestThetaJoin(t *testing.T) {
+	p := peopleTable(t)
+	j := ThetaJoin(p, p, func(l, r Row) bool {
+		return l[2].AsInt() < r[2].AsInt() // strictly younger
+	})
+	// 5 people with distinct ages: C(5,2) = 10 ordered young<old pairs.
+	if j.Len() != 10 {
+		t.Fatalf("theta join rows = %d, want 10", j.Len())
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	p := peopleTable(t)
+	grouped, err := GroupBy(p, nil, []Aggregate{
+		{Fn: AggCount, As: "n"},
+		{Fn: AggSum, Col: "income", As: "total"},
+		{Fn: AggAvg, Col: "age", As: "avg_age"},
+		{Fn: AggMin, Col: "age", As: "min_age"},
+		{Fn: AggMax, Col: "income", As: "max_inc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grouped.Len() != 1 {
+		t.Fatalf("global group rows = %d", grouped.Len())
+	}
+	r := grouped.Rows[0]
+	if r[0].AsInt() != 5 {
+		t.Errorf("count = %d", r[0].AsInt())
+	}
+	if r[1].AsFloat() != 161000 {
+		t.Errorf("sum = %g", r[1].AsFloat())
+	}
+	if r[2].AsFloat() != (3+34+4+61+29)/5.0 {
+		t.Errorf("avg = %g", r[2].AsFloat())
+	}
+	if r[3].AsInt() != 3 {
+		t.Errorf("min = %d", r[3].AsInt())
+	}
+	if r[4].AsFloat() != 78000 {
+		t.Errorf("max = %g", r[4].AsFloat())
+	}
+}
+
+func TestGroupByKeys(t *testing.T) {
+	tbl := MustNewTable("sales", Schema{
+		{Name: "region", Type: TypeString},
+		{Name: "amt", Type: TypeFloat},
+	})
+	tbl.MustInsert(Str("east"), Float(10))
+	tbl.MustInsert(Str("west"), Float(20))
+	tbl.MustInsert(Str("east"), Float(30))
+	g, err := GroupBy(tbl, []string{"region"}, []Aggregate{{Fn: AggSum, Col: "amt", As: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	// First-appearance order: east then west.
+	if g.Rows[0][0].AsString() != "east" || g.Rows[0][1].AsFloat() != 40 {
+		t.Fatalf("east group = %v", g.Rows[0])
+	}
+}
+
+func TestGroupByEmptyGlobal(t *testing.T) {
+	tbl := MustNewTable("empty", Schema{{Name: "x", Type: TypeInt}})
+	g, err := GroupBy(tbl, nil, []Aggregate{{Fn: AggCount, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 || g.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("COUNT(*) over empty = %v", g.Rows)
+	}
+}
+
+func TestUnionSchemaMismatch(t *testing.T) {
+	a := MustNewTable("a", Schema{{Name: "x", Type: TypeInt}})
+	b := MustNewTable("b", Schema{{Name: "x", Type: TypeFloat}})
+	if _, err := Union(a, b); !errors.Is(err, ErrSchema) {
+		t.Fatalf("got %v, want ErrSchema", err)
+	}
+}
+
+func TestUnionAndDistinct(t *testing.T) {
+	a := MustNewTable("a", Schema{{Name: "x", Type: TypeInt}})
+	a.MustInsert(Int(1))
+	a.MustInsert(Int(2))
+	b := MustNewTable("a", Schema{{Name: "x", Type: TypeInt}})
+	b.MustInsert(Int(2))
+	b.MustInsert(Int(3))
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 4 {
+		t.Fatalf("union rows = %d", u.Len())
+	}
+	d := Distinct(u)
+	if d.Len() != 3 {
+		t.Fatalf("distinct rows = %d", d.Len())
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	p := peopleTable(t)
+	sorted, err := OrderBy(p, "age", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Rows[0][1].AsString() != "dee" {
+		t.Fatalf("oldest = %v", sorted.Rows[0])
+	}
+	top2 := Limit(sorted, 2)
+	if top2.Len() != 2 {
+		t.Fatalf("limit = %d", top2.Len())
+	}
+	if Limit(p, 100).Len() != 5 || Limit(p, -1).Len() != 0 {
+		t.Fatal("limit edge cases")
+	}
+}
+
+func TestOrderByStable(t *testing.T) {
+	tbl := MustNewTable("t", Schema{
+		{Name: "k", Type: TypeInt}, {Name: "seq", Type: TypeInt},
+	})
+	for i := 0; i < 10; i++ {
+		tbl.MustInsert(Int(int64(i%2)), Int(int64(i)))
+	}
+	sorted, err := OrderBy(tbl, "k", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(-1)
+	for _, r := range sorted.Rows[:5] { // all k=0, seq must stay ascending
+		if r[1].AsInt() < prev {
+			t.Fatal("sort not stable")
+		}
+		prev = r[1].AsInt()
+	}
+}
+
+func TestExtend(t *testing.T) {
+	p := peopleTable(t)
+	ext, err := Extend(p, "adult", TypeBool, func(r Row) Value {
+		return Bool(r[2].AsInt() >= 18)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adults := Select(ext, func(r Row) bool { return r[4].AsBool() })
+	if adults.Len() != 3 {
+		t.Fatalf("adults = %d", adults.Len())
+	}
+	if _, err := Extend(p, "age", TypeInt, func(Row) Value { return Int(0) }); !errors.Is(err, ErrDupeColumn) {
+		t.Fatalf("got %v, want ErrDupeColumn", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	p := peopleTable(t)
+	r, err := Rename(p, "pid", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ColIndex("id"); err != nil {
+		t.Fatal("renamed column missing")
+	}
+	if _, err := p.ColIndex("pid"); err != nil {
+		t.Fatal("rename mutated the original")
+	}
+}
+
+func TestQueryBuilder(t *testing.T) {
+	p := peopleTable(t)
+	// "Preschoolers" per Algorithm 1: 0 <= age <= 4.
+	res, err := From(p).
+		WhereFloat("age", func(a float64) bool { return a >= 0 && a <= 4 }).
+		Select("pid").
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("preschoolers = %d", res.Len())
+	}
+	n, err := From(p).WhereEq("name", Str("bob")).Count()
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d err = %v", n, err)
+	}
+}
+
+func TestQueryErrorLatching(t *testing.T) {
+	p := peopleTable(t)
+	_, err := From(p).Select("nope").WhereEq("name", Str("x")).Run()
+	if !errors.Is(err, ErrNoColumn) {
+		t.Fatalf("got %v, want latched ErrNoColumn", err)
+	}
+}
+
+func TestQueryScalarFloat(t *testing.T) {
+	p := peopleTable(t)
+	total, err := From(p).GroupBy(nil, Aggregate{Fn: AggSum, Col: "income", As: "s"}).ScalarFloat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 161000 {
+		t.Fatalf("scalar = %g", total)
+	}
+	if _, err := From(p).ScalarFloat(); err == nil {
+		t.Fatal("multi-row scalar should error")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase()
+	db.Put(peopleTable(t))
+	tbl, err := db.Get("PERSON") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 5 {
+		t.Fatal("wrong table")
+	}
+	clone := db.Clone()
+	ct, _ := clone.Get("person")
+	ct.Rows[0][1] = Str("mutated")
+	orig, _ := db.Get("person")
+	if orig.Rows[0][1].AsString() == "mutated" {
+		t.Fatal("clone is not deep")
+	}
+	db.Drop("person")
+	if _, err := db.Get("person"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("got %v, want ErrNoTable", err)
+	}
+	if len(db.Names()) != 0 {
+		t.Fatal("Names after drop")
+	}
+}
+
+func TestPartitionedSelfJoin(t *testing.T) {
+	// Agents on a line; interact within the same unit cell.
+	agents := MustNewTable("agents", Schema{
+		{Name: "id", Type: TypeInt},
+		{Name: "pos", Type: TypeFloat},
+	})
+	for i := 0; i < 12; i++ {
+		agents.MustInsert(Int(int64(i)), Float(float64(i)/4)) // cells 0,0,0,0,1,1,1,1,2,2,2,2
+	}
+	out := PartitionedSelfJoin(agents,
+		func(r Row) string { return fmt.Sprintf("%d", int(r[1].AsFloat())) },
+		func(a, b Row) bool { return a[0].AsInt() != b[0].AsInt() },
+		func(a, b Row) Row { return Row{a[0], b[0]} },
+		Schema{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeInt}},
+		4)
+	// Each cell of 4 agents yields 4*3 ordered pairs; 3 cells.
+	if out.Len() != 36 {
+		t.Fatalf("self-join rows = %d, want 36", out.Len())
+	}
+}
+
+func TestPartitionedSelfJoinDeterministic(t *testing.T) {
+	agents := MustNewTable("agents", Schema{{Name: "id", Type: TypeInt}})
+	for i := 0; i < 30; i++ {
+		agents.MustInsert(Int(int64(i)))
+	}
+	run := func() []Row {
+		return PartitionedSelfJoin(agents,
+			func(r Row) string { return fmt.Sprintf("%d", r[0].AsInt()%5) },
+			func(a, b Row) bool { return true },
+			func(a, b Row) Row { return Row{a[0], b[0]} },
+			Schema{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeInt}},
+			8).Rows
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatal("nondeterministic row count")
+	}
+	for i := range r1 {
+		if !r1[i][0].Equal(r2[i][0]) || !r1[i][1].Equal(r2[i][1]) {
+			t.Fatalf("nondeterministic order at %d", i)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	p := peopleTable(t)
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	big := MustNewTable("big", Schema{{Name: "x", Type: TypeInt}})
+	for i := 0; i < 30; i++ {
+		big.MustInsert(Int(int64(i)))
+	}
+	if got := big.String(); len(got) == 0 {
+		t.Fatal("big table String()")
+	}
+}
+
+func TestFloatColumn(t *testing.T) {
+	p := peopleTable(t)
+	ages, err := p.FloatColumn("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ages) != 5 || ages[0] != 3 {
+		t.Fatalf("ages = %v", ages)
+	}
+	if _, err := p.FloatColumn("name"); !errors.Is(err, ErrTypeClash) {
+		t.Fatalf("got %v, want ErrTypeClash", err)
+	}
+}

@@ -1,0 +1,62 @@
+package engine_test
+
+import (
+	"fmt"
+	"log"
+
+	"modeldata/internal/engine"
+)
+
+// ExampleDatabase_Query shows the SQL front end: the observation
+// queries of §2.4 run as plain SQL text.
+func ExampleDatabase_Query() {
+	db := engine.NewDatabase()
+	stmts := []string{
+		`CREATE TABLE person (pid INT, age INT, state VARCHAR(1))`,
+		`INSERT INTO person VALUES (1, 3, 'S'), (2, 34, 'I'), (3, 4, 'I'), (4, 61, 'R')`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Query(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	infected, err := db.QueryScalar(`SELECT COUNT(*) FROM person WHERE state = 'I'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("infected:", infected)
+
+	preschool, err := db.Query(`SELECT pid FROM person WHERE age BETWEEN 0 AND 4 ORDER BY pid`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range preschool.Rows {
+		fmt.Println("preschooler:", row[0])
+	}
+	// Output:
+	// infected: 2
+	// preschooler: 1
+	// preschooler: 3
+}
+
+// ExampleFrom shows the fluent relational API equivalent.
+func ExampleFrom() {
+	t := engine.MustNewTable("sales", engine.Schema{
+		{Name: "region", Type: engine.TypeString},
+		{Name: "amt", Type: engine.TypeFloat},
+	})
+	t.MustInsert(engine.Str("east"), engine.Float(10))
+	t.MustInsert(engine.Str("west"), engine.Float(20))
+	t.MustInsert(engine.Str("east"), engine.Float(30))
+
+	total, err := engine.From(t).
+		WhereEq("region", engine.Str("east")).
+		GroupBy(nil, engine.Aggregate{Fn: engine.AggSum, Col: "amt", As: "s"}).
+		ScalarFloat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("east total:", total)
+	// Output:
+	// east total: 40
+}

@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Query is a fluent relational query builder over tables. Operations
+// are applied eagerly; the first error is latched and returned by Run.
+//
+//	q, err := engine.From(people).
+//		WhereFloat("age", func(a float64) bool { return a < 5 }).
+//		Select("pid").
+//		Run()
+type Query struct {
+	t   *Table
+	err error
+}
+
+// From starts a query over t.
+func From(t *Table) *Query { return &Query{t: t} }
+
+// Run returns the result table or the first error encountered.
+func (q *Query) Run() (*Table, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	return q.t, nil
+}
+
+// MustRun returns the result table, panicking on error; for tests and
+// examples with statically known schemas.
+func (q *Query) MustRun() *Table {
+	t, err := q.Run()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Where keeps rows satisfying pred.
+func (q *Query) Where(pred Predicate) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t = Select(q.t, pred)
+	return q
+}
+
+// WhereEq keeps rows whose column equals v.
+func (q *Query) WhereEq(col string, v Value) *Query {
+	if q.err != nil {
+		return q
+	}
+	j, err := q.t.ColIndex(col)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.t = Select(q.t, func(r Row) bool { return r[j].Equal(v) })
+	return q
+}
+
+// WhereFloat keeps rows for which pred holds on the numeric column.
+func (q *Query) WhereFloat(col string, pred func(float64) bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	j, err := q.t.ColIndex(col)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.t = Select(q.t, func(r Row) bool { return r[j].IsNumeric() && pred(r[j].AsFloat()) })
+	return q
+}
+
+// WhereString keeps rows for which pred holds on the string column.
+func (q *Query) WhereString(col string, pred func(string) bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	j, err := q.t.ColIndex(col)
+	if err != nil {
+		q.err = err
+		return q
+	}
+	q.t = Select(q.t, func(r Row) bool { return r[j].Type() == TypeString && pred(r[j].AsString()) })
+	return q
+}
+
+// Select projects to the named columns.
+func (q *Query) Select(cols ...string) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t, q.err = Project(q.t, cols...)
+	return q
+}
+
+// Join equijoins the current result with other on leftCol = rightCol.
+func (q *Query) Join(other *Table, leftCol, rightCol string) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t, q.err = EquiJoin(q.t, other, leftCol, rightCol)
+	return q
+}
+
+// GroupBy groups by keys and computes aggs.
+func (q *Query) GroupBy(keys []string, aggs ...Aggregate) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t, q.err = GroupBy(q.t, keys, aggs)
+	return q
+}
+
+// OrderBy sorts by the column.
+func (q *Query) OrderBy(col string, desc bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t, q.err = OrderBy(q.t, col, desc)
+	return q
+}
+
+// Distinct removes duplicate rows.
+func (q *Query) Distinct() *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t = Distinct(q.t)
+	return q
+}
+
+// Limit truncates to n rows.
+func (q *Query) Limit(n int) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t = Limit(q.t, n)
+	return q
+}
+
+// Extend appends a computed column.
+func (q *Query) Extend(name string, typ Type, f func(Row) Value) *Query {
+	if q.err != nil {
+		return q
+	}
+	q.t, q.err = Extend(q.t, name, typ, f)
+	return q
+}
+
+// Count runs the query and returns its row count.
+func (q *Query) Count() (int, error) {
+	t, err := q.Run()
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}
+
+// ScalarFloat runs the query, which must produce exactly one row and one
+// numeric column, and returns that value. This is the shape of the
+// DEFINE ... AS (SELECT COUNT(...) ...) statements in Algorithm 1.
+func (q *Query) ScalarFloat() (float64, error) {
+	t, err := q.Run()
+	if err != nil {
+		return 0, err
+	}
+	if t.Len() != 1 || len(t.Schema) != 1 {
+		return 0, fmt.Errorf("engine: scalar query returned %d rows × %d cols", t.Len(), len(t.Schema))
+	}
+	v := t.Rows[0][0]
+	if !v.IsNumeric() {
+		return 0, fmt.Errorf("%w: scalar query returned %s", ErrTypeClash, v.Type())
+	}
+	return v.AsFloat(), nil
+}

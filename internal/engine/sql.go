@@ -1,0 +1,857 @@
+package engine
+
+// This file gives the engine a textual SQL dialect, since every system
+// surveyed in the paper exposes SQL: MCDB/SimSQL queries, Indemics'
+// observation queries and Algorithm 1, and the DEFINE-style scalar
+// statements. The dialect covers:
+//
+//	SELECT [DISTINCT] <cols | * | aggregates> FROM <table>
+//	    [JOIN <table> ON <col> = <col>]
+//	    [WHERE <boolean expression>]
+//	    [GROUP BY <cols>]
+//	    [ORDER BY <col> [ASC|DESC]]
+//	    [LIMIT <n>]
+//	CREATE TABLE <name> (<col> <type>, ...)
+//	INSERT INTO <name> VALUES (<literal>, ...)
+//
+// Aggregates: COUNT(*), COUNT(col), SUM, AVG, MIN, MAX, with optional
+// "AS alias". WHERE supports comparisons (=, <>, !=, <, <=, >, >=),
+// BETWEEN ... AND ..., AND/OR/NOT, and parentheses; literals are
+// (optionally signed) numbers, 'strings', TRUE/FALSE.
+//
+// Dialect notes: after a JOIN, columns are addressed by their
+// table-qualified names ("person.pid"); in grouped queries the output
+// lists the GROUP BY keys first and then the aggregates, regardless of
+// SELECT-list order.
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrSQL wraps all SQL parse and execution errors.
+var ErrSQL = errors.New("engine: SQL error")
+
+func sqlErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrSQL, fmt.Sprintf(format, args...))
+}
+
+// --- lexer ---
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lexSQL(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' escapes a quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return sqlErrf("unterminated string at offset %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) || c == '.' || c == 'e' || c == 'E' ||
+			((c == '+' || c == '-') && l.pos > start && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '.' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexSymbol() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '*', ';', '-', '+':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return sqlErrf("unexpected character %q at offset %d", c, l.pos)
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	if p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return sqlErrf("expected %s near %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return sqlErrf("expected %q near %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", sqlErrf("expected identifier near %q", p.cur().text)
+	}
+	return p.next().text, nil
+}
+
+// selectItem is one SELECT-list entry.
+type selectItem struct {
+	star  bool    // plain column "*": SELECT *
+	col   string  // column reference
+	agg   AggFunc // valid when isAgg
+	isAgg bool
+	alias string
+}
+
+// selectStmt is a parsed SELECT.
+type selectStmt struct {
+	distinct bool
+	items    []selectItem
+	from     string
+	join     string // joined table ("" if none)
+	joinL    string // left join column
+	joinR    string // right join column
+	where    *whereExpr
+	groupBy  []string
+	orderBy  string
+	desc     bool
+	limit    int // -1 when absent
+}
+
+// whereExpr is a boolean expression tree.
+type whereExpr struct {
+	op       string // "and", "or", "not", "cmp", "between"
+	l, r     *whereExpr
+	cmpOp    string
+	col      string
+	val      Value
+	lo, hi   Value
+	hasLo    bool
+	negateIn bool
+}
+
+var aggNames = map[string]AggFunc{
+	"count": AggCount, "sum": AggSum, "avg": AggAvg, "min": AggMin, "max": AggMax,
+}
+
+func (p *parser) parseSelect() (*selectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	st := &selectStmt{limit: -1}
+	st.distinct = p.keyword("distinct")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.items = append(st.items, item)
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st.from = from
+	if p.keyword("join") {
+		st.join, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("on"); err != nil {
+			return nil, err
+		}
+		st.joinL, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		st.joinR, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("where") {
+		st.where, err = p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.groupBy = append(st.groupBy, col)
+			if !p.symbol(",") {
+				break
+			}
+		}
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		st.orderBy, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.keyword("desc") {
+			st.desc = true
+		} else {
+			p.keyword("asc")
+		}
+	}
+	if p.keyword("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, sqlErrf("expected number after LIMIT near %q", p.cur().text)
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil {
+			return nil, sqlErrf("bad LIMIT: %v", err)
+		}
+		st.limit = n
+	}
+	p.symbol(";")
+	if p.cur().kind != tokEOF {
+		return nil, sqlErrf("trailing input near %q", p.cur().text)
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	var item selectItem
+	if p.symbol("*") {
+		item.star = true
+		return item, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return item, err
+	}
+	if fn, isAgg := aggNames[strings.ToLower(name)]; isAgg && p.symbol("(") {
+		item.isAgg = true
+		item.agg = fn
+		if p.symbol("*") {
+			if fn != AggCount {
+				return item, sqlErrf("%s(*) is only valid for COUNT", name)
+			}
+		} else {
+			item.col, err = p.ident()
+			if err != nil {
+				return item, err
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return item, err
+		}
+	} else {
+		item.col = name
+	}
+	if p.keyword("as") {
+		item.alias, err = p.ident()
+		if err != nil {
+			return item, err
+		}
+	}
+	return item, nil
+}
+
+func (p *parser) parseOr() (*whereExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &whereExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (*whereExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &whereExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (*whereExpr, error) {
+	if p.keyword("not") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &whereExpr{op: "not", l: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (*whereExpr, error) {
+	if p.symbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.keyword("between") {
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &whereExpr{op: "between", col: col, lo: lo, hi: hi, hasLo: true}, nil
+	}
+	if p.cur().kind != tokSymbol {
+		return nil, sqlErrf("expected comparison operator near %q", p.cur().text)
+	}
+	op := p.next().text
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, sqlErrf("unknown operator %q", op)
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &whereExpr{op: "cmp", cmpOp: op, col: col, val: val}, nil
+}
+
+func (p *parser) parseLiteral() (Value, error) {
+	// Leading sign on numeric literals.
+	if p.cur().kind == tokSymbol && (p.cur().text == "-" || p.cur().text == "+") {
+		neg := p.next().text == "-"
+		v, err := p.parseLiteral()
+		if err != nil {
+			return Value{}, err
+		}
+		if !neg {
+			return v, nil
+		}
+		switch v.Type() {
+		case TypeInt:
+			return Int(-v.AsInt()), nil
+		case TypeFloat:
+			return Float(-v.AsFloat()), nil
+		}
+		return Value{}, sqlErrf("cannot negate %s literal", v.Type())
+	}
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.i++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return Value{}, sqlErrf("bad number %q", t.text)
+			}
+			return Float(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, sqlErrf("bad integer %q", t.text)
+		}
+		return Int(n), nil
+	case tokString:
+		p.i++
+		return Str(t.text), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.i++
+			return Bool(true), nil
+		case "false":
+			p.i++
+			return Bool(false), nil
+		}
+	}
+	return Value{}, sqlErrf("expected literal near %q", t.text)
+}
+
+// --- execution ---
+
+// compileWhere converts the expression tree into a Predicate over the
+// given schema.
+func compileWhere(e *whereExpr, schema Schema) (Predicate, error) {
+	switch e.op {
+	case "and":
+		l, err := compileWhere(e.l, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileWhere(e.r, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row Row) bool { return l(row) && r(row) }, nil
+	case "or":
+		l, err := compileWhere(e.l, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileWhere(e.r, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row Row) bool { return l(row) || r(row) }, nil
+	case "not":
+		inner, err := compileWhere(e.l, schema)
+		if err != nil {
+			return nil, err
+		}
+		return func(row Row) bool { return !inner(row) }, nil
+	case "between":
+		idx, err := schema.ColIndex(e.col)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := e.lo, e.hi
+		return func(row Row) bool {
+			v := row[idx]
+			return !v.Less(lo) && !hi.Less(v)
+		}, nil
+	case "cmp":
+		idx, err := schema.ColIndex(e.col)
+		if err != nil {
+			return nil, err
+		}
+		val := e.val
+		switch e.cmpOp {
+		case "=":
+			return func(row Row) bool { return row[idx].Equal(val) }, nil
+		case "<>", "!=":
+			return func(row Row) bool { return !row[idx].Equal(val) }, nil
+		case "<":
+			return func(row Row) bool { return row[idx].Less(val) }, nil
+		case "<=":
+			return func(row Row) bool { return !val.Less(row[idx]) }, nil
+		case ">":
+			return func(row Row) bool { return val.Less(row[idx]) }, nil
+		case ">=":
+			return func(row Row) bool { return !row[idx].Less(val) }, nil
+		}
+	}
+	return nil, sqlErrf("unsupported WHERE node %q", e.op)
+}
+
+// execSelect runs a parsed SELECT against the database.
+func execSelect(db *Database, st *selectStmt) (*Table, error) {
+	t, err := db.Get(st.from)
+	if err != nil {
+		return nil, err
+	}
+	if st.join != "" {
+		right, err := db.Get(st.join)
+		if err != nil {
+			return nil, err
+		}
+		// Join columns may be written bare or table-qualified
+		// ("person.pid"); strip a matching table qualifier so the name
+		// resolves against the pre-join schemas.
+		t, err = EquiJoin(t, right,
+			stripQualifier(st.joinL, st.from),
+			stripQualifier(st.joinR, st.join))
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.where != nil {
+		pred, err := compileWhere(st.where, t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		t = Select(t, pred)
+	}
+	hasAgg := false
+	for _, item := range st.items {
+		if item.isAgg {
+			hasAgg = true
+		}
+	}
+	switch {
+	case hasAgg || len(st.groupBy) > 0:
+		var aggs []Aggregate
+		for _, item := range st.items {
+			if !item.isAgg {
+				// Non-aggregate items must be group-by keys; they are
+				// emitted automatically by GroupBy.
+				if !containsFold(st.groupBy, item.col) {
+					return nil, sqlErrf("column %q must appear in GROUP BY", item.col)
+				}
+				continue
+			}
+			name := item.alias
+			if name == "" {
+				name = strings.ToLower(item.agg.String())
+				if item.col != "" {
+					name += "_" + item.col
+				}
+			}
+			aggs = append(aggs, Aggregate{Fn: item.agg, Col: item.col, As: name})
+		}
+		t, err = GroupBy(t, st.groupBy, aggs)
+		if err != nil {
+			return nil, err
+		}
+	case len(st.items) == 1 && st.items[0].star:
+		// SELECT *: keep every column.
+	default:
+		cols := make([]string, 0, len(st.items))
+		renames := map[string]string{}
+		for _, item := range st.items {
+			if item.star {
+				return nil, sqlErrf("cannot mix * with named columns")
+			}
+			cols = append(cols, item.col)
+			if item.alias != "" {
+				renames[item.col] = item.alias
+			}
+		}
+		t, err = Project(t, cols...)
+		if err != nil {
+			return nil, err
+		}
+		for from, to := range renames {
+			t, err = Rename(t, from, to)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if st.distinct {
+		t = Distinct(t)
+	}
+	if st.orderBy != "" {
+		t, err = OrderBy(t, st.orderBy, st.desc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.limit >= 0 {
+		t = Limit(t, st.limit)
+	}
+	return t, nil
+}
+
+// stripQualifier removes a "table." prefix when it names the expected
+// table.
+func stripQualifier(col, table string) string {
+	if i := strings.IndexByte(col, '.'); i > 0 && strings.EqualFold(col[:i], table) {
+		return col[i+1:]
+	}
+	return col
+}
+
+func containsFold(xs []string, s string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Query executes a SQL statement against the database and returns the
+// result table. Supported statements: SELECT (returns rows), CREATE
+// TABLE (returns an empty result), INSERT INTO ... VALUES (returns an
+// empty result).
+func (db *Database) Query(sql string) (*Table, error) {
+	toks, err := lexSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "select"):
+		st, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return execSelect(db, st)
+	case p.keyword("create"):
+		return db.execCreate(p)
+	case p.keyword("insert"):
+		return db.execInsert(p)
+	}
+	return nil, sqlErrf("expected SELECT, CREATE TABLE, or INSERT near %q", p.cur().text)
+}
+
+// QueryScalar executes a SELECT that must produce exactly one row and
+// one numeric column — Algorithm 1's DEFINE ... AS (SELECT COUNT ...).
+func (db *Database) QueryScalar(sql string) (float64, error) {
+	t, err := db.Query(sql)
+	if err != nil {
+		return 0, err
+	}
+	if t.Len() != 1 || len(t.Schema) != 1 {
+		return 0, sqlErrf("scalar query returned %d×%d", t.Len(), len(t.Schema))
+	}
+	v := t.Rows[0][0]
+	if !v.IsNumeric() {
+		return 0, sqlErrf("scalar query returned %s", v.Type())
+	}
+	return v.AsFloat(), nil
+}
+
+var typeNames = map[string]Type{
+	"int": TypeInt, "integer": TypeInt, "bigint": TypeInt,
+	"float": TypeFloat, "double": TypeFloat, "real": TypeFloat,
+	"varchar": TypeString, "text": TypeString, "string": TypeString,
+	"bool": TypeBool, "boolean": TypeBool,
+}
+
+func (db *Database) execCreate(p *parser) (*Table, error) {
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var schema Schema
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typ, ok := typeNames[strings.ToLower(typeName)]
+		if !ok {
+			return nil, sqlErrf("unknown type %q", typeName)
+		}
+		// Swallow optional length suffix: VARCHAR(32).
+		if p.symbol("(") {
+			if p.cur().kind != tokNumber {
+				return nil, sqlErrf("expected length near %q", p.cur().text)
+			}
+			p.next()
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		schema = append(schema, Column{Name: col, Type: typ})
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	p.symbol(";")
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.Put(t)
+	return &Table{Name: name, Schema: schema.Clone()}, nil
+}
+
+func (db *Database) execInsert(p *parser) (*Table, error) {
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	inserted := 0
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row Row
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		inserted++
+		if !p.symbol(",") {
+			break
+		}
+	}
+	p.symbol(";")
+	out, err := NewTable("inserted", Schema{{Name: "n", Type: TypeInt}})
+	if err != nil {
+		return nil, err
+	}
+	if err := out.Insert(Row{Int(int64(inserted))}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

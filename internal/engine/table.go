@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Common engine errors.
+var (
+	ErrNoColumn   = errors.New("engine: no such column")
+	ErrNoTable    = errors.New("engine: no such table")
+	ErrTypeClash  = errors.New("engine: value type does not match column type")
+	ErrArity      = errors.New("engine: row arity does not match schema")
+	ErrDupeColumn = errors.New("engine: duplicate column name")
+	ErrSchema     = errors.New("engine: incompatible schemas")
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColIndex returns the index of the named column, or ErrNoColumn.
+func (s Schema) ColIndex(name string) (int, error) {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNoColumn, name)
+}
+
+// Validate checks that column names are unique (case-insensitively).
+func (s Schema) Validate() error {
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		k := strings.ToLower(c.Name)
+		if seen[k] {
+			return fmt.Errorf("%w: %q", ErrDupeColumn, c.Name)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// Equal reports whether two schemas have identical column names (case-
+// insensitive) and types in order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if !strings.EqualFold(s[i].Name, o[i].Name) || s[i].Type != o[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory relation: a schema plus rows.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// NewTable creates an empty table with the given name and schema. It
+// returns an error if the schema has duplicate column names.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{Name: name, Schema: schema.Clone()}, nil
+}
+
+// MustNewTable is NewTable that panics on error, for static schemas in
+// tests and examples.
+func MustNewTable(name string, schema Schema) *Table {
+	t, err := NewTable(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// checkRow verifies arity and column types.
+func (t *Table) checkRow(r Row) error {
+	if len(r) != len(t.Schema) {
+		return fmt.Errorf("%w: table %q got %d values, want %d", ErrArity, t.Name, len(r), len(t.Schema))
+	}
+	for i, v := range r {
+		want := t.Schema[i].Type
+		if v.Type() == want {
+			continue
+		}
+		// Allow int→float widening at insert time.
+		if want == TypeFloat && v.Type() == TypeInt {
+			r[i] = Float(v.AsFloat())
+			continue
+		}
+		return fmt.Errorf("%w: table %q column %q: got %s, want %s",
+			ErrTypeClash, t.Name, t.Schema[i].Name, v.Type(), want)
+	}
+	return nil
+}
+
+// Insert appends a row after validating it against the schema.
+func (t *Table) Insert(r Row) error {
+	if err := t.checkRow(r); err != nil {
+		return err
+	}
+	t.Rows = append(t.Rows, r)
+	return nil
+}
+
+// MustInsert inserts and panics on error, for tests and examples.
+func (t *Table) MustInsert(vals ...Value) {
+	if err := t.Insert(Row(vals)); err != nil {
+		panic(err)
+	}
+}
+
+// InsertAll inserts every row, stopping at the first error.
+func (t *Table) InsertAll(rows []Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// ColIndex returns the index of the named column.
+func (t *Table) ColIndex(name string) (int, error) { return t.Schema.ColIndex(name) }
+
+// Column extracts the named column as a value slice.
+func (t *Table) Column(name string) ([]Value, error) {
+	idx, err := t.ColIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[idx]
+	}
+	return out, nil
+}
+
+// FloatColumn extracts a numeric column as float64s.
+func (t *Table) FloatColumn(name string) ([]float64, error) {
+	idx, err := t.ColIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		if !r[idx].IsNumeric() {
+			return nil, fmt.Errorf("%w: column %q row %d is %s", ErrTypeClash, name, i, r[idx].Type())
+		}
+		out[i] = r[idx].AsFloat()
+	}
+	return out, nil
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	rows := make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = r.Clone()
+	}
+	return &Table{Name: t.Name, Schema: t.Schema.Clone(), Rows: rows}
+}
+
+// String renders the table as an aligned text grid (truncated for large
+// tables), convenient in examples and error messages.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d rows)\n", t.Name, len(t.Rows))
+	for i, c := range t.Schema {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Type)
+	}
+	b.WriteByte('\n')
+	const maxRows = 20
+	for i, r := range t.Rows {
+		if i == maxRows {
+			fmt.Fprintf(&b, "... (%d more)\n", len(t.Rows)-maxRows)
+			break
+		}
+		for j, v := range r {
+			if j > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	tables map[string]*Table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Put registers (or replaces) a table under its own name.
+func (db *Database) Put(t *Table) {
+	db.tables[strings.ToLower(t.Name)] = t
+}
+
+// Get returns the named table or ErrNoTable.
+func (db *Database) Get(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Drop removes the named table; it is a no-op if absent.
+func (db *Database) Drop(name string) {
+	delete(db.tables, strings.ToLower(name))
+}
+
+// Names returns the table names in the database (unordered).
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Clone deep-copies the database; this is how Monte Carlo layers
+// materialize independent database instances.
+func (db *Database) Clone() *Database {
+	out := NewDatabase()
+	for _, t := range db.tables {
+		out.Put(t.Clone())
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+// Package engine is an in-memory relational engine: typed columns,
+// tables, and a relational-algebra / SQL-ish query API. It is the
+// database substrate on which the Monte Carlo Database (internal/mcdb),
+// SimSQL (internal/simsql), and Indemics (internal/indemics) layers are
+// built, standing in for the parallel RDBMS and Hadoop back ends used by
+// the systems surveyed in the paper.
+//
+// Values are a tagged union rather than interface{} so that hot query
+// loops avoid boxing and type switches stay local to this file.
+package engine
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type enumerates the column types supported by the engine.
+type Type uint8
+
+// Column types.
+const (
+	TypeInt Type = iota
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	case TypeBool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Value is a tagged-union scalar. The zero Value is the integer 0.
+type Value struct {
+	typ Type
+	i   int64
+	f   float64
+	s   string
+	b   bool
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{typ: TypeInt, i: v} }
+
+// Float returns a float Value.
+func Float(v float64) Value { return Value{typ: TypeFloat, f: v} }
+
+// String returns a string Value.
+func Str(v string) Value { return Value{typ: TypeString, s: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value { return Value{typ: TypeBool, b: v} }
+
+// Type returns the value's type tag.
+func (v Value) Type() Type { return v.typ }
+
+// AsInt returns the integer payload; float values are truncated. It
+// panics for string and bool values (programmer error — schemas are
+// checked on insert).
+func (v Value) AsInt() int64 {
+	switch v.typ {
+	case TypeInt:
+		return v.i
+	case TypeFloat:
+		return int64(v.f)
+	}
+	panic(fmt.Sprintf("engine: AsInt on %s value", v.typ))
+}
+
+// AsFloat returns the numeric payload widened to float64. It panics for
+// string and bool values.
+func (v Value) AsFloat() float64 {
+	switch v.typ {
+	case TypeInt:
+		return float64(v.i)
+	case TypeFloat:
+		return v.f
+	}
+	panic(fmt.Sprintf("engine: AsFloat on %s value", v.typ))
+}
+
+// AsString returns the string payload. It panics for other types.
+func (v Value) AsString() string {
+	if v.typ != TypeString {
+		panic(fmt.Sprintf("engine: AsString on %s value", v.typ))
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics for other types.
+func (v Value) AsBool() bool {
+	if v.typ != TypeBool {
+		panic(fmt.Sprintf("engine: AsBool on %s value", v.typ))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether the value is an int or float.
+func (v Value) IsNumeric() bool { return v.typ == TypeInt || v.typ == TypeFloat }
+
+// Equal reports value equality. Ints and floats compare numerically
+// across the two numeric types.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.typ != o.typ {
+		return false
+	}
+	switch v.typ {
+	case TypeString:
+		return v.s == o.s
+	case TypeBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Less defines a total order within comparable types: numerics compare
+// numerically, strings lexically, bools false < true. Cross-type
+// comparisons between non-numeric types order by type tag.
+func (v Value) Less(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		return v.AsFloat() < o.AsFloat()
+	}
+	if v.typ != o.typ {
+		return v.typ < o.typ
+	}
+	switch v.typ {
+	case TypeString:
+		return v.s < o.s
+	case TypeBool:
+		return !v.b && o.b
+	}
+	return false
+}
+
+// Key returns a string usable as a hash key for joins and grouping.
+// Numeric values with equal numeric value share a key.
+func (v Value) Key() string {
+	switch v.typ {
+	case TypeInt:
+		return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case TypeFloat:
+		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return "s" + v.s
+	case TypeBool:
+		if v.b {
+			return "b1"
+		}
+		return "b0"
+	}
+	return "?"
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return v.s
+	case TypeBool:
+		return strconv.FormatBool(v.b)
+	}
+	return "?"
+}

@@ -1,0 +1,119 @@
+// Package experiments regenerates every figure and every quantitative
+// claim of the paper as a reproducible experiment. Each experiment is a
+// function from a seed to a Result whose rows are the numbers (or
+// matrices) the paper reports; cmd/experiments prints them and
+// bench_test.go wraps them as benchmarks. DESIGN.md carries the
+// experiment index mapping each ID to the paper artifact it reproduces.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrUnknown is returned for an unregistered experiment ID.
+var ErrUnknown = errors.New("experiments: unknown experiment")
+
+// Row is one reported number.
+type Row struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	ID    string
+	Title string
+	// Paper states the claim or figure being reproduced; Shape states
+	// the qualitative expectation; Verdict whether it held.
+	Paper   string
+	Shape   string
+	Verdict bool
+	Rows    []Row
+	// Matrix optionally carries a design matrix or grid to print
+	// verbatim (Figures 3 and 5).
+	Matrix [][]int
+	// Series optionally carries labeled numeric series (e.g. F1's
+	// actual-vs-extrapolated trajectories) keyed by label.
+	Series map[string][]float64
+}
+
+func (r Result) String() string {
+	var b strings.Builder
+	status := "REPRODUCED"
+	if !r.Verdict {
+		status = "MISMATCH"
+	}
+	fmt.Fprintf(&b, "[%s] %s — %s\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "  paper: %s\n  shape: %s\n", r.Paper, r.Shape)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-42s %12.6g %s\n", row.Name, row.Value, row.Unit)
+	}
+	if len(r.Matrix) > 0 {
+		for _, line := range r.Matrix {
+			b.WriteString("   ")
+			for _, v := range line {
+				fmt.Fprintf(&b, " %2d", v)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(seed uint64) (Result, error)
+
+// registry maps experiment IDs to runners, populated by init()
+// functions in the per-topic files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// prefixRank orders experiment families for display: figures (F*)
+// first, then quantitative claims (E*), then ablations (A*).
+func prefixRank(id string) int {
+	switch id[0] {
+	case 'F':
+		return 0
+	case 'E':
+		return 1
+	case 'A':
+		return 2
+	}
+	return 3
+}
+
+// IDs returns the registered experiment IDs in display order: F*
+// before E* before A*, numerically within each family.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := prefixRank(out[i]), prefixRank(out[j])
+		if ri != rj {
+			return ri < rj
+		}
+		var ni, nj int
+		fmt.Sscanf(out[i][1:], "%d", &ni)
+		fmt.Sscanf(out[j][1:], "%d", &nj)
+		return ni < nj
+	})
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, seed uint64) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknown, id)
+	}
+	return r(seed)
+}

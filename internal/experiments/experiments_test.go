@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"modeldata/internal/rng"
+)
+
+func TestIDsOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 26 {
+		t.Fatalf("registered experiments = %d, want 26", len(ids))
+	}
+	if ids[0] != "F1" || ids[4] != "F5" || ids[5] != "E1" || ids[21] != "E17" ||
+		ids[22] != "A1" || ids[25] != "A4" {
+		t.Fatalf("order = %v", ids)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("Z9", 1); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestAllExperimentsReproduce runs every registered experiment with a
+// fixed seed and requires the paper's qualitative shape to hold.
+func TestAllExperimentsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(id, 20140622) // PODS'14 opening day
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if !res.Verdict {
+				t.Errorf("%s did not reproduce the paper's shape:\n%s", id, res)
+			}
+			if res.ID != id || res.Title == "" || res.Paper == "" || len(res.Rows) == 0 {
+				t.Errorf("%s: incomplete result metadata", id)
+			}
+			if !strings.Contains(res.String(), id) {
+				t.Errorf("%s: String() missing ID", id)
+			}
+		})
+	}
+}
+
+func TestHousingIndexShape(t *testing.T) {
+	s := HousingIndex(1)
+	if s.Len() != 42 {
+		t.Fatalf("years = %d", s.Len())
+	}
+	// Peak near 2006, collapse after.
+	peak, peakYear := 0.0, 0
+	for _, p := range s.Points {
+		if p.V > peak {
+			peak, peakYear = p.V, int(p.T)
+		}
+	}
+	if peakYear < 2004 || peakYear > 2008 {
+		t.Fatalf("peak year = %d", peakYear)
+	}
+	last := s.Points[s.Len()-1].V
+	if last > peak*0.85 {
+		t.Fatalf("no collapse: last=%g peak=%g", last, peak)
+	}
+}
+
+func TestTrafficMomentsRespondToParameters(t *testing.T) {
+	// Higher accel with gentle braking must raise mean speed.
+	slow := TrafficMoments([]float64{0.05, 0.9}, seedStream(1))
+	fast := TrafficMoments([]float64{0.9, 0.1}, seedStream(1))
+	if fast[0] <= slow[0] {
+		t.Fatalf("mean speed: fast %g ≤ slow %g", fast[0], slow[0])
+	}
+	if len(slow) != 3 {
+		t.Fatalf("moment vector length = %d", len(slow))
+	}
+}
+
+func TestSBPDatabaseFixture(t *testing.T) {
+	db, err := SBPDatabase(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Spec("sbp_data"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedStream is a tiny helper for the tests above.
+func seedStream(seed uint64) *rng.Stream { return rng.New(seed) }

@@ -1,0 +1,256 @@
+// Package mapreduce is an in-process MapReduce runtime: parallel
+// mappers over input splits, a partitioned shuffle with byte
+// accounting, and parallel reducers. It stands in for the Hadoop
+// clusters used by SimSQL and Splash in the paper; the experiments that
+// compare algorithms "on MapReduce" (time alignment, DSGD spline
+// solving, §2.2) use the shuffle-byte counters of this package as the
+// scale-free proxy for cluster communication cost.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoInput is returned when a job is run with no input splits.
+var ErrNoInput = errors.New("mapreduce: no input splits")
+
+// ErrWorkerPanic is returned when a mapper or reducer panics; the
+// panic value is attached. Like a real cluster framework, a task crash
+// fails the job rather than the process.
+var ErrWorkerPanic = errors.New("mapreduce: worker panicked")
+
+// guard converts a panic in user code into an error.
+func guard(stage string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %s: %v", ErrWorkerPanic, stage, r)
+		}
+	}()
+	return f()
+}
+
+// Pair is a keyed intermediate or output record.
+type Pair struct {
+	Key   string
+	Value any
+}
+
+// Mapper processes one input split, emitting intermediate pairs.
+type Mapper func(split any, emit func(Pair)) error
+
+// Reducer processes all values that share a key, emitting output pairs.
+type Reducer func(key string, values []any, emit func(Pair)) error
+
+// Config controls job parallelism and shuffle accounting.
+type Config struct {
+	// Mappers and Reducers bound worker parallelism; zero means
+	// GOMAXPROCS.
+	Mappers, Reducers int
+	// SizeOf estimates the serialized size of a shuffled value, for the
+	// ShuffleBytes statistic. If nil, DefaultSizeOf is used.
+	SizeOf func(v any) int
+}
+
+// Stats reports what a job did.
+type Stats struct {
+	InputSplits  int
+	MapOutput    int   // intermediate pairs emitted by mappers
+	ShuffleBytes int64 // estimated bytes moved through the shuffle
+	ReduceGroups int   // distinct keys reduced
+	Output       int   // output pairs emitted by reducers
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("splits=%d mapOut=%d shuffle=%dB groups=%d out=%d",
+		s.InputSplits, s.MapOutput, s.ShuffleBytes, s.ReduceGroups, s.Output)
+}
+
+// DefaultSizeOf estimates value sizes for shuffle accounting: 8 bytes
+// per float/int, string length for strings, element-wise for float
+// slices, and a conservative 16 bytes otherwise.
+func DefaultSizeOf(v any) int {
+	switch x := v.(type) {
+	case float64, int, int64, uint64:
+		return 8
+	case string:
+		return len(x)
+	case []float64:
+		return 8 * len(x)
+	case []byte:
+		return len(x)
+	default:
+		return 16
+	}
+}
+
+func workerCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes a MapReduce job over the input splits and returns the
+// reducer output sorted by key (ties preserve reducer emission order),
+// along with execution statistics. The first mapper or reducer error
+// aborts the job.
+func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
+	var stats Stats
+	if len(splits) == 0 {
+		return nil, stats, ErrNoInput
+	}
+	stats.InputSplits = len(splits)
+	sizeOf := cfg.SizeOf
+	if sizeOf == nil {
+		sizeOf = DefaultSizeOf
+	}
+
+	// Map phase: each worker accumulates per-partition output locally,
+	// so no locks are needed in the emit hot path.
+	nRed := workerCount(cfg.Reducers)
+	nMap := workerCount(cfg.Mappers)
+	type mapResult struct {
+		parts [][]Pair
+		count int
+		bytes int64
+	}
+	results := make([]mapResult, len(splits))
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, nMap)
+	for i, split := range splits {
+		wg.Add(1)
+		go func(i int, split any) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res := mapResult{parts: make([][]Pair, nRed)}
+			emit := func(p Pair) {
+				h := fnv.New32a()
+				h.Write([]byte(p.Key))
+				part := int(h.Sum32()) % nRed
+				res.parts[part] = append(res.parts[part], p)
+				res.count++
+				res.bytes += int64(len(p.Key) + sizeOf(p.Value))
+			}
+			if err := guard("map", func() error { return m(split, emit) }); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			results[i] = res
+		}(i, split)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, stats, fmt.Errorf("mapreduce: map: %w", err)
+	}
+
+	// Shuffle: group by key within each partition. Mapper order (split
+	// index) fixes value order within each key, keeping jobs
+	// deterministic.
+	partitions := make([]map[string][]any, nRed)
+	for p := range partitions {
+		partitions[p] = make(map[string][]any)
+	}
+	for _, res := range results {
+		stats.MapOutput += res.count
+		stats.ShuffleBytes += res.bytes
+		for p, pairs := range res.parts {
+			for _, kv := range pairs {
+				partitions[p][kv.Key] = append(partitions[p][kv.Key], kv.Value)
+			}
+		}
+	}
+
+	// Reduce phase: partitions in parallel; keys sorted within each
+	// partition for determinism.
+	outParts := make([][]Pair, nRed)
+	var rwg sync.WaitGroup
+	for p := 0; p < nRed; p++ {
+		rwg.Add(1)
+		go func(p int) {
+			defer rwg.Done()
+			keys := make([]string, 0, len(partitions[p]))
+			for k := range partitions[p] {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var out []Pair
+			for _, k := range keys {
+				emit := func(kv Pair) { out = append(out, kv) }
+				if err := guard("reduce", func() error { return r(k, partitions[p][k], emit) }); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+			outParts[p] = out
+		}(p)
+	}
+	rwg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, stats, fmt.Errorf("mapreduce: reduce: %w", err)
+	}
+
+	for p := range partitions {
+		stats.ReduceGroups += len(partitions[p])
+	}
+	var out []Pair
+	for _, part := range outParts {
+		out = append(out, part...)
+	}
+	// Final parallel-sort stage (the paper's "assembled via a parallel
+	// sort"): merge partition outputs into global key order.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	stats.Output = len(out)
+	return out, stats, nil
+}
+
+// MapOnly runs just a parallel map over the splits with no shuffle or
+// reduce, returning each split's emissions concatenated in split order.
+// Splash uses this shape for per-window transformations whose outputs
+// are already disjoint.
+func MapOnly(cfg Config, splits []any, m Mapper) ([]Pair, Stats, error) {
+	var stats Stats
+	if len(splits) == 0 {
+		return nil, stats, ErrNoInput
+	}
+	stats.InputSplits = len(splits)
+	nMap := workerCount(cfg.Mappers)
+	results := make([][]Pair, len(splits))
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, nMap)
+	for i, split := range splits {
+		wg.Add(1)
+		go func(i int, split any) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var local []Pair
+			if err := guard("map", func() error {
+				return m(split, func(p Pair) { local = append(local, p) })
+			}); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			results[i] = local
+		}(i, split)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, stats, fmt.Errorf("mapreduce: map: %w", err)
+	}
+	var out []Pair
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	stats.MapOutput = len(out)
+	stats.Output = len(out)
+	return out, stats, nil
+}

@@ -1,0 +1,272 @@
+package mcdb
+
+import (
+	"fmt"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/rng"
+)
+
+// BundleTable is a stochastic table materialized as tuple bundles: the
+// plan-once execution strategy of MCDB (§2.1). Each tuple stores its
+// deterministic attributes exactly once; each uncertain attribute
+// stores its instantiations across all Monte Carlo iterations.
+type BundleTable struct {
+	Name   string
+	Schema engine.Schema
+	Iters  int
+	// UncertainCols are the schema indexes carried per iteration.
+	UncertainCols []int
+	// Det holds the deterministic attributes of each tuple; uncertain
+	// positions hold the zero Value and must not be read.
+	Det []engine.Row
+	// Unc[tuple][k][iter] is the value of the k-th uncertain column of
+	// the tuple at the given Monte Carlo iteration.
+	Unc [][][]float64
+}
+
+// uncPos maps schema index → position within the bundle's uncertain
+// column list.
+func (bt *BundleTable) uncPos(schemaIdx int) (int, bool) {
+	for k, c := range bt.UncertainCols {
+		if c == schemaIdx {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// InstantiateBundled realizes every stochastic table as a BundleTable
+// with iters Monte Carlo instantiations per uncertain cell. The outer
+// FOR EACH loop, parameter queries, and row assembly run once; only the
+// VG sampling repeats per iteration — this is the tuple-bundle
+// optimization.
+func (db *DB) InstantiateBundled(iters int, seed uint64) (map[string]*BundleTable, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("mcdb: iters=%d", iters)
+	}
+	r := rng.New(seed)
+	out := make(map[string]*BundleTable, len(db.specs))
+	for _, spec := range db.specs {
+		bt, err := db.bundleSpec(spec, iters, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Name] = bt
+	}
+	return out, nil
+}
+
+func (db *DB) bundleSpec(spec *TableSpec, iters int, r *rng.Stream) (*BundleTable, error) {
+	if len(spec.UncertainCols) == 0 {
+		return nil, fmt.Errorf("%w: %q has no UncertainCols for bundled execution", ErrBadSpec, spec.Name)
+	}
+	outers, err := db.outerRows(spec)
+	if err != nil {
+		return nil, err
+	}
+	bt := &BundleTable{
+		Name:          spec.Name,
+		Schema:        spec.Schema.Clone(),
+		Iters:         iters,
+		UncertainCols: append([]int(nil), spec.UncertainCols...),
+	}
+	for _, outer := range outers {
+		// Parameter query runs once per tuple (not per iteration).
+		params, err := db.vgParams(spec, outer)
+		if err != nil {
+			return nil, err
+		}
+		unc := make([][]float64, len(spec.UncertainCols))
+		for k := range unc {
+			unc[k] = make([]float64, iters)
+		}
+		var det engine.Row
+		for it := 0; it < iters; it++ {
+			vgOut, err := spec.VG(params, r)
+			if err != nil {
+				return nil, err
+			}
+			var row engine.Row
+			if spec.OutputRow != nil {
+				row = spec.OutputRow(outer, vgOut)
+			} else {
+				row = append(append(engine.Row{}, outer...), vgOut...)
+			}
+			if len(row) != len(spec.Schema) {
+				return nil, fmt.Errorf("%w: %q produced %d values, schema has %d",
+					ErrBadSpec, spec.Name, len(row), len(spec.Schema))
+			}
+			if it == 0 {
+				det = row.Clone()
+				for _, c := range spec.UncertainCols {
+					det[c] = engine.Value{}
+				}
+			}
+			for k, c := range spec.UncertainCols {
+				if !row[c].IsNumeric() {
+					return nil, fmt.Errorf("%w: %q uncertain column %d is %s, bundles require numeric",
+						ErrBadSpec, spec.Name, c, row[c].Type())
+				}
+				unc[k][it] = row[c].AsFloat()
+			}
+		}
+		bt.Det = append(bt.Det, det)
+		bt.Unc = append(bt.Unc, unc)
+	}
+	return bt, nil
+}
+
+// Len returns the number of tuples in the bundle table.
+func (bt *BundleTable) Len() int { return len(bt.Det) }
+
+// FilterDet applies a selection on deterministic attributes once for
+// all iterations — the core saving of tuple bundles. The predicate
+// receives the deterministic row (uncertain positions are zero Values).
+func (bt *BundleTable) FilterDet(pred func(det engine.Row) bool) *BundleTable {
+	out := &BundleTable{
+		Name:          bt.Name,
+		Schema:        bt.Schema.Clone(),
+		Iters:         bt.Iters,
+		UncertainCols: bt.UncertainCols,
+	}
+	for i, det := range bt.Det {
+		if pred(det) {
+			out.Det = append(out.Det, det)
+			out.Unc = append(out.Unc, bt.Unc[i])
+		}
+	}
+	return out
+}
+
+// UncPredicate qualifies a tuple at one Monte Carlo iteration; unc
+// holds the tuple's uncertain values (ordered as UncertainCols) at that
+// iteration. A nil UncPredicate accepts every tuple.
+type UncPredicate func(det engine.Row, unc []float64) bool
+
+// Estimate scans the bundle table once and computes, per Monte Carlo
+// iteration, the aggregate of the named uncertain column over tuples
+// satisfying pred. The result is a sample of size Iters from the
+// query-result distribution. Supported aggregates: COUNT, SUM, AVG.
+func (bt *BundleTable) Estimate(col string, fn engine.AggFunc, pred UncPredicate) ([]float64, error) {
+	schemaIdx, err := bt.Schema.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	k, ok := bt.uncPos(schemaIdx)
+	if !ok {
+		return nil, fmt.Errorf("mcdb: column %q is not uncertain in %q", col, bt.Name)
+	}
+	sums := make([]float64, bt.Iters)
+	counts := make([]float64, bt.Iters)
+	uncBuf := make([]float64, len(bt.UncertainCols))
+	for i := range bt.Det {
+		unc := bt.Unc[i]
+		for it := 0; it < bt.Iters; it++ {
+			if pred != nil {
+				for kk := range uncBuf {
+					uncBuf[kk] = unc[kk][it]
+				}
+				if !pred(bt.Det[i], uncBuf) {
+					continue
+				}
+			}
+			sums[it] += unc[k][it]
+			counts[it]++
+		}
+	}
+	out := make([]float64, bt.Iters)
+	switch fn {
+	case engine.AggCount:
+		copy(out, counts)
+	case engine.AggSum:
+		copy(out, sums)
+	case engine.AggAvg:
+		for it := range out {
+			if counts[it] > 0 {
+				out[it] = sums[it] / counts[it]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("mcdb: bundle aggregate %v not supported", fn)
+	}
+	return out, nil
+}
+
+// Realize materializes the bundle table at a single Monte Carlo
+// iteration as an ordinary engine table — useful for spot checks and
+// for queries that the bundle executor does not cover.
+func (bt *BundleTable) Realize(iter int) (*engine.Table, error) {
+	if iter < 0 || iter >= bt.Iters {
+		return nil, fmt.Errorf("mcdb: iteration %d outside [0, %d)", iter, bt.Iters)
+	}
+	out, err := engine.NewTable(bt.Name, bt.Schema)
+	if err != nil {
+		return nil, err
+	}
+	for i, det := range bt.Det {
+		row := det.Clone()
+		for k, c := range bt.UncertainCols {
+			if bt.Schema[c].Type == engine.TypeInt {
+				row[c] = engine.Int(int64(bt.Unc[i][k][iter]))
+			} else {
+				row[c] = engine.Float(bt.Unc[i][k][iter])
+			}
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// JoinDet equijoins the bundle table with a deterministic table on a
+// deterministic bundle column — the common MCDB query shape where a
+// stochastic table (e.g. random demand per customer) joins reference
+// data (e.g. customer regions). Because the join key is deterministic,
+// the join executes once for all Monte Carlo iterations: matching
+// deterministic attributes are appended to each tuple's Det row and the
+// uncertain arrays are shared unchanged. Tuples matching multiple
+// rows of det are replicated (sharing their uncertain arrays).
+func (bt *BundleTable) JoinDet(det *engine.Table, bundleCol, detCol string) (*BundleTable, error) {
+	bIdx, err := bt.Schema.ColIndex(bundleCol)
+	if err != nil {
+		return nil, err
+	}
+	if _, isUnc := bt.uncPos(bIdx); isUnc {
+		return nil, fmt.Errorf("mcdb: join key %q is uncertain; joins must use deterministic columns", bundleCol)
+	}
+	dIdx, err := det.ColIndex(detCol)
+	if err != nil {
+		return nil, err
+	}
+	// Hash the deterministic side.
+	ht := make(map[string][]engine.Row, det.Len())
+	for _, row := range det.Rows {
+		k := row[dIdx].Key()
+		ht[k] = append(ht[k], row)
+	}
+	schema := bt.Schema.Clone()
+	for _, c := range det.Schema {
+		schema = append(schema, engine.Column{Name: det.Name + "." + c.Name, Type: c.Type})
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	out := &BundleTable{
+		Name:          bt.Name + "_" + det.Name,
+		Schema:        schema,
+		Iters:         bt.Iters,
+		UncertainCols: append([]int(nil), bt.UncertainCols...),
+	}
+	for i, d := range bt.Det {
+		for _, match := range ht[d[bIdx].Key()] {
+			nr := make(engine.Row, 0, len(d)+len(match))
+			nr = append(nr, d...)
+			nr = append(nr, match...)
+			out.Det = append(out.Det, nr)
+			out.Unc = append(out.Unc, bt.Unc[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+// Package mcdb implements the Monte Carlo Database System of §2.1 of
+// the paper (Jampani et al., TODS 2011): a relational database extended
+// with "stochastic" tables whose contents are not stored values but
+// probability distributions, realized on demand by VG (Variable
+// Generation) functions. Running a query over one realization draws a
+// sample from the query-result distribution; iterating yields samples
+// from which moments, quantiles, extreme quantiles (MCDB-R), and
+// threshold probabilities are estimated.
+//
+// Two execution strategies are provided:
+//
+//   - Naive: instantiate a full database per Monte Carlo iteration and
+//     re-run the query (the strawman MCDB is designed to avoid).
+//   - Tuple bundles: execute the plan once, with each uncertain cell
+//     carrying its instantiations across all Monte Carlo iterations.
+package mcdb
+
+import (
+	"errors"
+	"fmt"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/rng"
+)
+
+// Common errors.
+var (
+	ErrNoSpec    = errors.New("mcdb: no such stochastic table spec")
+	ErrBadSpec   = errors.New("mcdb: invalid stochastic table spec")
+	ErrNoSamples = errors.New("mcdb: no Monte Carlo samples")
+)
+
+// VG is a Variable Generation function: given the parameter row
+// produced by the spec's parameter query, it returns one realization of
+// the uncertain values for a single outer tuple. VG functions range
+// from a draw from a normal distribution to a full backward random walk
+// (see the library in vg.go).
+type VG func(params engine.Row, r *rng.Stream) ([]engine.Value, error)
+
+// TableSpec declares one stochastic table, mirroring MCDB's
+// CREATE TABLE ... AS FOR EACH ... WITH ... syntax:
+//
+//	CREATE TABLE SBP_DATA(PID, GENDER, SBP) AS
+//	  FOR EACH p in PATIENTS
+//	  WITH SBP AS Normal(SELECT s.MEAN, s.STD FROM SBP_PARAM s)
+//	  SELECT p.PID, p.GENDER, b.VALUE FROM SBP b
+type TableSpec struct {
+	// Name and Schema of the realized stochastic table.
+	Name   string
+	Schema engine.Schema
+	// ForEach names the deterministic table looped over (the FOR EACH
+	// clause). If empty, the VG function is invoked exactly once with a
+	// nil outer row.
+	ForEach string
+	// Params produces the VG parameter row for one outer tuple; in
+	// MCDB this is an arbitrary SQL query over the non-random tables.
+	// A nil Params passes the outer row itself to the VG function.
+	Params func(db *engine.Database, outer engine.Row) (engine.Row, error)
+	// VG generates one realization of the uncertain values.
+	VG VG
+	// OutputRow assembles a realized row from the outer tuple and the
+	// VG output (the final SELECT). A nil OutputRow appends the VG
+	// values to the outer row.
+	OutputRow func(outer engine.Row, vgOut []engine.Value) engine.Row
+	// UncertainCols lists the indexes (into Schema) of the columns
+	// produced by the VG function; the bundle executor keeps these as
+	// per-iteration arrays and the rest as constants. Required for
+	// bundled execution; the naive path ignores it.
+	UncertainCols []int
+}
+
+func (s *TableSpec) validate() error {
+	if s.Name == "" || s.VG == nil {
+		return fmt.Errorf("%w: %q needs a name and a VG function", ErrBadSpec, s.Name)
+	}
+	if err := s.Schema.Validate(); err != nil {
+		return err
+	}
+	for _, c := range s.UncertainCols {
+		if c < 0 || c >= len(s.Schema) {
+			return fmt.Errorf("%w: uncertain column index %d out of range", ErrBadSpec, c)
+		}
+	}
+	return nil
+}
+
+// DB is a Monte Carlo database: deterministic base tables plus
+// stochastic table specifications.
+type DB struct {
+	Base  *engine.Database
+	specs []*TableSpec
+}
+
+// New creates an MCDB over the given deterministic base tables.
+func New(base *engine.Database) *DB {
+	if base == nil {
+		base = engine.NewDatabase()
+	}
+	return &DB{Base: base}
+}
+
+// AddSpec registers a stochastic table specification.
+func (db *DB) AddSpec(spec *TableSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	db.specs = append(db.specs, spec)
+	return nil
+}
+
+// Spec returns the named specification.
+func (db *DB) Spec(name string) (*TableSpec, error) {
+	for _, s := range db.specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNoSpec, name)
+}
+
+// realizeSpec materializes one realization of a stochastic table.
+func (db *DB) realizeSpec(spec *TableSpec, r *rng.Stream) (*engine.Table, error) {
+	out, err := engine.NewTable(spec.Name, spec.Schema)
+	if err != nil {
+		return nil, err
+	}
+	outers, err := db.outerRows(spec)
+	if err != nil {
+		return nil, err
+	}
+	for _, outer := range outers {
+		row, err := db.realizeTuple(spec, outer, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// outerRows returns the FOR EACH loop rows ([nil] when absent).
+func (db *DB) outerRows(spec *TableSpec) ([]engine.Row, error) {
+	if spec.ForEach == "" {
+		return []engine.Row{nil}, nil
+	}
+	t, err := db.Base.Get(spec.ForEach)
+	if err != nil {
+		return nil, err
+	}
+	return t.Rows, nil
+}
+
+// vgParams resolves the parameter row for one outer tuple.
+func (db *DB) vgParams(spec *TableSpec, outer engine.Row) (engine.Row, error) {
+	if spec.Params == nil {
+		return outer, nil
+	}
+	return spec.Params(db.Base, outer)
+}
+
+// realizeTuple realizes one output row for one outer tuple.
+func (db *DB) realizeTuple(spec *TableSpec, outer engine.Row, r *rng.Stream) (engine.Row, error) {
+	params, err := db.vgParams(spec, outer)
+	if err != nil {
+		return nil, err
+	}
+	vgOut, err := spec.VG(params, r)
+	if err != nil {
+		return nil, err
+	}
+	if spec.OutputRow != nil {
+		return spec.OutputRow(outer, vgOut), nil
+	}
+	row := make(engine.Row, 0, len(outer)+len(vgOut))
+	row = append(row, outer...)
+	row = append(row, vgOut...)
+	return row, nil
+}
+
+// Instantiate produces one complete database instance: a clone of the
+// deterministic tables plus one realization of every stochastic table.
+func (db *DB) Instantiate(r *rng.Stream) (*engine.Database, error) {
+	inst := db.Base.Clone()
+	for _, spec := range db.specs {
+		t, err := db.realizeSpec(spec, r)
+		if err != nil {
+			return nil, err
+		}
+		inst.Put(t)
+	}
+	return inst, nil
+}
+
+// Query maps a realized database instance to a scalar sample from the
+// query-result distribution.
+type Query func(inst *engine.Database) (float64, error)
+
+// MonteCarloNaive runs the query over iters independent database
+// instances, re-instantiating and re-executing everything per
+// iteration. This is the baseline MCDB's tuple-bundle execution is
+// measured against in experiment E1.
+func (db *DB) MonteCarloNaive(iters int, seed uint64, q Query) ([]float64, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("mcdb: iters=%d", iters)
+	}
+	r := rng.New(seed)
+	out := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		inst, err := db.Instantiate(r.Split())
+		if err != nil {
+			return nil, err
+		}
+		v, err := q(inst)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,519 @@
+package mcdb
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/rng"
+	"modeldata/internal/stats"
+)
+
+// sbpFixture builds the §2.1 blood-pressure example: a PATIENTS table,
+// a one-row SBP_PARAM table, and the SBP_DATA stochastic table spec.
+func sbpFixture(t *testing.T, nPatients int) *DB {
+	t.Helper()
+	base := engine.NewDatabase()
+	patients := engine.MustNewTable("patients", engine.Schema{
+		{Name: "pid", Type: engine.TypeInt},
+		{Name: "gender", Type: engine.TypeString},
+	})
+	for i := 0; i < nPatients; i++ {
+		g := "F"
+		if i%2 == 0 {
+			g = "M"
+		}
+		patients.MustInsert(engine.Int(int64(i)), engine.Str(g))
+	}
+	base.Put(patients)
+
+	param := engine.MustNewTable("sbp_param", engine.Schema{
+		{Name: "mean", Type: engine.TypeFloat},
+		{Name: "std", Type: engine.TypeFloat},
+	})
+	param.MustInsert(engine.Float(120), engine.Float(15))
+	base.Put(param)
+
+	db := New(base)
+	spec := &TableSpec{
+		Name: "sbp_data",
+		Schema: engine.Schema{
+			{Name: "pid", Type: engine.TypeInt},
+			{Name: "gender", Type: engine.TypeString},
+			{Name: "sbp", Type: engine.TypeFloat},
+		},
+		ForEach: "patients",
+		Params: func(db *engine.Database, outer engine.Row) (engine.Row, error) {
+			p, err := db.Get("sbp_param")
+			if err != nil {
+				return nil, err
+			}
+			return p.Rows[0], nil
+		},
+		VG:            NormalVG(),
+		UncertainCols: []int{2},
+	}
+	if err := db.AddSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInstantiateSBP(t *testing.T) {
+	db := sbpFixture(t, 10)
+	inst, err := db.Instantiate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := inst.Get("sbp_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 10 {
+		t.Fatalf("realized rows = %d", tbl.Len())
+	}
+	sbps, err := tbl.FloatColumn("sbp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sbps {
+		if v < 30 || v > 220 {
+			t.Fatalf("implausible SBP draw %g", v)
+		}
+	}
+	// The deterministic base tables must be present in the instance.
+	if _, err := inst.Get("patients"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloNaiveEstimatesMean(t *testing.T) {
+	db := sbpFixture(t, 20)
+	samples, err := db.MonteCarloNaive(400, 7, func(inst *engine.Database) (float64, error) {
+		tbl, err := inst.Get("sbp_data")
+		if err != nil {
+			return 0, err
+		}
+		return engine.From(tbl).
+			GroupBy(nil, engine.Aggregate{Fn: engine.AggAvg, Col: "sbp", As: "m"}).
+			ScalarFloat()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-120) > 2 {
+		t.Fatalf("estimated mean SBP = %g, want ≈ 120 (%v)", est.Mean, est)
+	}
+}
+
+func TestBundledMatchesNaiveDistribution(t *testing.T) {
+	db := sbpFixture(t, 20)
+	const iters = 400
+	bundles, err := db.InstantiateBundled(iters, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bundles["sbp_data"]
+	if bt.Len() != 20 || bt.Iters != iters {
+		t.Fatalf("bundle shape: %d tuples × %d iters", bt.Len(), bt.Iters)
+	}
+	bundledMeans, err := bt.Estimate("sbp", engine.AggAvg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := db.MonteCarloNaive(iters, 11, func(inst *engine.Database) (float64, error) {
+		tbl, _ := inst.Get("sbp_data")
+		return engine.From(tbl).
+			GroupBy(nil, engine.Aggregate{Fn: engine.AggAvg, Col: "sbp", As: "m"}).
+			ScalarFloat()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, mn := stats.Mean(bundledMeans), stats.Mean(naive)
+	if math.Abs(mb-mn) > 2 {
+		t.Fatalf("bundled mean %g vs naive mean %g", mb, mn)
+	}
+	vb, vn := stats.Variance(bundledMeans), stats.Variance(naive)
+	if vb <= 0 || vn <= 0 || vb/vn > 3 || vn/vb > 3 {
+		t.Fatalf("variance mismatch: bundled %g vs naive %g", vb, vn)
+	}
+}
+
+func TestBundleDeterministicForSeed(t *testing.T) {
+	db := sbpFixture(t, 5)
+	b1, err := db.InstantiateBundled(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := db.InstantiateBundled(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, u2 := b1["sbp_data"].Unc, b2["sbp_data"].Unc
+	for i := range u1 {
+		for it := 0; it < 10; it++ {
+			if u1[i][0][it] != u2[i][0][it] {
+				t.Fatal("bundled instantiation not deterministic")
+			}
+		}
+	}
+}
+
+func TestFilterDetAndUncertainPredicate(t *testing.T) {
+	db := sbpFixture(t, 30)
+	bundles, err := db.InstantiateBundled(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bundles["sbp_data"]
+	males := bt.FilterDet(func(det engine.Row) bool { return det[1].AsString() == "M" })
+	if males.Len() != 15 {
+		t.Fatalf("male tuples = %d", males.Len())
+	}
+	// Count hypertensive males (SBP > 140) per iteration.
+	counts, err := males.Estimate("sbp", engine.AggCount, func(det engine.Row, unc []float64) bool {
+		return unc[0] > 140
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(SBP > 140) with N(120, 15) ≈ 0.0912; expected count ≈ 1.37.
+	want := 15 * (1 - rng.NormalCDF((140.0-120)/15))
+	if got := stats.Mean(counts); math.Abs(got-want) > 0.5 {
+		t.Fatalf("mean hypertensive count = %g, want ≈ %g", got, want)
+	}
+}
+
+func TestBundleRealize(t *testing.T) {
+	db := sbpFixture(t, 4)
+	bundles, err := db.InstantiateBundled(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bundles["sbp_data"]
+	tbl, err := bt.Realize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("realized rows = %d", tbl.Len())
+	}
+	v := tbl.Rows[2][2].AsFloat()
+	if v != bt.Unc[2][0][3] {
+		t.Fatalf("realized value %g != bundle value %g", v, bt.Unc[2][0][3])
+	}
+	if _, err := bt.Realize(99); err == nil {
+		t.Fatal("out-of-range iteration accepted")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	db := New(nil)
+	if err := db.AddSpec(&TableSpec{}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("got %v", err)
+	}
+	err := db.AddSpec(&TableSpec{
+		Name:          "x",
+		Schema:        engine.Schema{{Name: "a", Type: engine.TypeFloat}},
+		VG:            NormalVG(),
+		UncertainCols: []int{5},
+	})
+	if !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := db.Spec("missing"); !errors.Is(err, ErrNoSpec) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNoForEachSpecRunsOnce(t *testing.T) {
+	db := New(nil)
+	err := db.AddSpec(&TableSpec{
+		Name:          "single",
+		Schema:        engine.Schema{{Name: "v", Type: engine.TypeFloat}},
+		VG:            DistVG(rng.UniformDist{Lo: 0, Hi: 1}),
+		UncertainCols: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := db.Instantiate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := inst.Get("single")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("rows = %d, want 1", tbl.Len())
+	}
+}
+
+func TestMonteCarloNaiveBadIters(t *testing.T) {
+	db := sbpFixture(t, 2)
+	if _, err := db.MonteCarloNaive(0, 1, nil); err == nil {
+		t.Fatal("iters=0 accepted")
+	}
+	if _, err := db.InstantiateBundled(0, 1); err == nil {
+		t.Fatal("bundled iters=0 accepted")
+	}
+}
+
+func TestBundleRequiresUncertainCols(t *testing.T) {
+	db := New(nil)
+	if err := db.AddSpec(&TableSpec{
+		Name:   "nouc",
+		Schema: engine.Schema{{Name: "v", Type: engine.TypeFloat}},
+		VG:     DistVG(rng.UniformDist{Lo: 0, Hi: 1}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.InstantiateBundled(5, 1); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestVGLibrary(t *testing.T) {
+	r := rng.New(5)
+	t.Run("BackwardWalk", func(t *testing.T) {
+		vg := BackwardWalkVG(5)
+		params := engine.Row{engine.Float(100), engine.Float(0.001), engine.Float(0.01)}
+		sum := 0.0
+		for i := 0; i < 2000; i++ {
+			vals, err := vg(params, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += vals[0].AsFloat()
+		}
+		mean := sum / 2000
+		// Five backward steps of ≈0.1% drift: slightly below 100.
+		if mean < 90 || mean > 105 {
+			t.Fatalf("backward walk mean = %g", mean)
+		}
+	})
+	t.Run("OptionPayoff", func(t *testing.T) {
+		vg := OptionPayoffVG(5, 100)
+		params := engine.Row{engine.Float(100), engine.Float(0), engine.Float(0.02)}
+		neg := 0
+		pos := 0
+		for i := 0; i < 500; i++ {
+			vals, err := vg(params, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := vals[0].AsFloat()
+			if p < 0 {
+				neg++
+			}
+			if p > 0 {
+				pos++
+			}
+		}
+		if neg > 0 {
+			t.Fatalf("%d negative payoffs", neg)
+		}
+		if pos == 0 {
+			t.Fatal("no positive payoffs — vol did nothing")
+		}
+	})
+	t.Run("BayesianDemand", func(t *testing.T) {
+		vg := BayesianDemandVG(0) // no price effect: posterior mean only
+		// Prior Gamma(2, rate 1); data: 18 purchases over 8 periods →
+		// posterior Gamma(20, rate 9), mean λ = 20/9 ≈ 2.22.
+		params := engine.Row{
+			engine.Float(2), engine.Float(1),
+			engine.Float(18), engine.Float(8), engine.Float(0),
+		}
+		sum := 0.0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			vals, err := vg(params, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += vals[0].AsFloat()
+		}
+		mean := sum / n
+		if math.Abs(mean-20.0/9) > 0.15 {
+			t.Fatalf("posterior predictive mean = %g, want ≈ %g", mean, 20.0/9)
+		}
+	})
+	t.Run("ParamErrors", func(t *testing.T) {
+		for _, vg := range []VG{NormalVG(), PoissonVG(), BackwardWalkVG(1), OptionPayoffVG(1, 0), BayesianDemandVG(0)} {
+			if _, err := vg(nil, r); !errors.Is(err, ErrBadSpec) {
+				t.Fatalf("missing params accepted: %v", err)
+			}
+		}
+	})
+}
+
+func TestSummarizeAndRisk(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrNoSamples) {
+		t.Fatal("empty Summarize")
+	}
+	r := rng.New(8)
+	samples := rng.SampleN(rng.NormalDist{Mu: 50, Sigma: 5}, r, 4000)
+	est, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-50) > 0.5 || math.Abs(est.Quantiles[0.5]-50) > 0.5 {
+		t.Fatalf("estimate %v", est)
+	}
+	if est.String() == "" {
+		t.Fatal("empty String")
+	}
+	q, err := RiskQuantile(samples, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50 + 5*rng.NormalQuantile(0.999)
+	if math.Abs(q-want) > 2.5 {
+		t.Fatalf("risk quantile = %g, want ≈ %g", q, want)
+	}
+	if _, err := RiskQuantile(nil, 0.5); !errors.Is(err, ErrNoSamples) {
+		t.Fatal("empty RiskQuantile")
+	}
+}
+
+func TestThresholdQuery(t *testing.T) {
+	// "Which regions decline more than 2% with ≥ 50% probability?"
+	perGroup := map[string][]float64{
+		"east":  {0.03, 0.01, 0.04, 0.05}, // 3/4 above 0.02
+		"west":  {0.01, 0.00, 0.03, 0.01}, // 1/4 above
+		"south": {0.025, 0.021, 0.01, 0.03},
+	}
+	groups, err := ThresholdQuery(perGroup, 0.02, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(groups)
+	if len(groups) != 2 || groups[0] != "east" || groups[1] != "south" {
+		t.Fatalf("groups = %v", groups)
+	}
+	if _, err := ThresholdQuery(map[string][]float64{"x": nil}, 0, 0); !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("got %v", err)
+	}
+	p, err := ThresholdProbability([]float64{1, 2, 3, 4}, 2.5)
+	if err != nil || p != 0.5 {
+		t.Fatalf("p = %g err = %v", p, err)
+	}
+}
+
+func TestBundleJoinDet(t *testing.T) {
+	// The §2.1 pricing shape: random demand per customer joined with a
+	// deterministic region table, then "revenue from East Coast
+	// customers" per iteration.
+	db := New(nil)
+	base := db.Base
+	customers := engine.MustNewTable("customers", engine.Schema{
+		{Name: "cid", Type: engine.TypeInt},
+	})
+	regions := engine.MustNewTable("regions", engine.Schema{
+		{Name: "cid", Type: engine.TypeInt},
+		{Name: "region", Type: engine.TypeString},
+	})
+	for i := 0; i < 30; i++ {
+		customers.MustInsert(engine.Int(int64(i)))
+		reg := "west"
+		if i%3 == 0 {
+			reg = "east"
+		}
+		regions.MustInsert(engine.Int(int64(i)), engine.Str(reg))
+	}
+	base.Put(customers)
+	base.Put(regions)
+	if err := db.AddSpec(&TableSpec{
+		Name: "demand",
+		Schema: engine.Schema{
+			{Name: "cid", Type: engine.TypeInt},
+			{Name: "qty", Type: engine.TypeFloat},
+		},
+		ForEach:       "customers",
+		VG:            DistVG(rng.UniformDist{Lo: 0, Hi: 10}),
+		UncertainCols: []int{1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bundles, err := db.InstantiateBundled(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := bundles["demand"].JoinDet(regions, "cid", "cid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 30 {
+		t.Fatalf("joined tuples = %d", joined.Len())
+	}
+	if _, err := joined.Schema.ColIndex("regions.region"); err != nil {
+		t.Fatal("region column missing after join")
+	}
+	regIdx, _ := joined.Schema.ColIndex("regions.region")
+	east := joined.FilterDet(func(det engine.Row) bool {
+		return det[regIdx].AsString() == "east"
+	})
+	if east.Len() != 10 {
+		t.Fatalf("east tuples = %d", east.Len())
+	}
+	sums, err := east.Estimate("qty", engine.AggSum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[sum] = 10 customers × mean 5 = 50.
+	if m := stats.Mean(sums); math.Abs(m-50) > 3 {
+		t.Fatalf("east demand mean = %g, want ≈ 50", m)
+	}
+}
+
+func TestBundleJoinDetErrors(t *testing.T) {
+	db := sbpFixture(t, 4)
+	bundles, err := db.InstantiateBundled(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bundles["sbp_data"]
+	other := engine.MustNewTable("other", engine.Schema{{Name: "pid", Type: engine.TypeInt}})
+	if _, err := bt.JoinDet(other, "nope", "pid"); err == nil {
+		t.Fatal("missing bundle column accepted")
+	}
+	if _, err := bt.JoinDet(other, "pid", "nope"); err == nil {
+		t.Fatal("missing det column accepted")
+	}
+	// Joining on the uncertain column is rejected.
+	if _, err := bt.JoinDet(other, "sbp", "pid"); err == nil {
+		t.Fatal("uncertain join key accepted")
+	}
+}
+
+func TestBundleJoinDetDangling(t *testing.T) {
+	db := sbpFixture(t, 4)
+	bundles, err := db.InstantiateBundled(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bundles["sbp_data"]
+	lookup := engine.MustNewTable("lookup", engine.Schema{
+		{Name: "pid", Type: engine.TypeInt},
+		{Name: "tag", Type: engine.TypeString},
+	})
+	lookup.MustInsert(engine.Int(0), engine.Str("a"))
+	lookup.MustInsert(engine.Int(0), engine.Str("b")) // fan-out
+	joined, err := bt.JoinDet(lookup, "pid", "pid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patient 0 matches twice; patients 1–3 dangle.
+	if joined.Len() != 2 {
+		t.Fatalf("joined tuples = %d, want 2", joined.Len())
+	}
+}

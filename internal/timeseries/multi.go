@@ -1,0 +1,91 @@
+package timeseries
+
+import (
+	"fmt"
+)
+
+// §2.2 notes that each observation dᵢ "can be viewed as a k-tuple for
+// some k ≥ 1": model outputs carry several columns per time tick. A
+// MultiSeries is that shape — shared observation times with k named
+// data columns — and aligns by applying the scalar machinery
+// column-wise (the per-column transformations are independent, which
+// is also why Splash can parallelize them freely).
+
+// MultiSeries is a k-column time series over shared ticks.
+type MultiSeries struct {
+	Name    string
+	Columns []string
+	Times   []float64
+	// Data[j] is column j's values, parallel to Times.
+	Data [][]float64
+}
+
+// NewMulti validates and builds a MultiSeries.
+func NewMulti(name string, columns []string, times []float64, data [][]float64) (*MultiSeries, error) {
+	if len(columns) == 0 || len(columns) != len(data) {
+		return nil, fmt.Errorf("timeseries: %d columns but %d data vectors", len(columns), len(data))
+	}
+	for j, col := range data {
+		if len(col) != len(times) {
+			return nil, fmt.Errorf("timeseries: column %q has %d values for %d ticks", columns[j], len(col), len(times))
+		}
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("%w: tick %d", ErrUnsorted, i)
+		}
+	}
+	return &MultiSeries{Name: name, Columns: columns, Times: times, Data: data}, nil
+}
+
+// Len returns the number of ticks.
+func (m *MultiSeries) Len() int { return len(m.Times) }
+
+// Column extracts one column as a scalar Series.
+func (m *MultiSeries) Column(name string) (*Series, error) {
+	for j, c := range m.Columns {
+		if c == name {
+			return FromSlices(m.Name+"."+name, m.Times, m.Data[j])
+		}
+	}
+	return nil, fmt.Errorf("timeseries: no column %q in %q", name, m.Name)
+}
+
+// AlignMulti aligns every column of m onto the target ticks with the
+// given method/aggregation, returning a new MultiSeries on the target
+// timescale. The alignment class is detected once from the shared
+// ticks (all columns share the timescale, so the class is common).
+func AlignMulti(m *MultiSeries, targetTicks []float64, method InterpMethod, agg AggKind) (*MultiSeries, AlignClass, error) {
+	if m.Len() == 0 {
+		return nil, AlignIdentity, fmt.Errorf("%w: empty multiseries", ErrTooShort)
+	}
+	var outTimes []float64
+	outData := make([][]float64, len(m.Columns))
+	var class AlignClass
+	for j := range m.Columns {
+		col, err := FromSlices(m.Name, m.Times, m.Data[j])
+		if err != nil {
+			return nil, AlignIdentity, err
+		}
+		aligned, c, err := Align(col, targetTicks, method, agg)
+		if err != nil {
+			return nil, c, fmt.Errorf("timeseries: column %q: %w", m.Columns[j], err)
+		}
+		if j == 0 {
+			class = c
+			outTimes = aligned.Times()
+		} else if aligned.Len() != len(outTimes) {
+			// Can only occur with aggregation dropping different empty
+			// buckets per column — impossible with shared ticks, so
+			// this is an internal invariant failure.
+			return nil, c, fmt.Errorf("timeseries: column %q aligned to %d ticks, want %d",
+				m.Columns[j], aligned.Len(), len(outTimes))
+		}
+		outData[j] = aligned.Values()
+	}
+	out, err := NewMulti(m.Name, m.Columns, outTimes, outData)
+	if err != nil {
+		return nil, class, err
+	}
+	return out, class, nil
+}

@@ -1,0 +1,100 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func multiFixture(t *testing.T, n int) *MultiSeries {
+	t.Helper()
+	times := make([]float64, n)
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range times {
+		times[i] = float64(i)
+		a[i] = math.Sin(float64(i) / 10)
+		b[i] = float64(i) * 2
+	}
+	m, err := NewMulti("model-out", []string{"temp", "load"}, times, [][]float64{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti("x", nil, nil, nil); err == nil {
+		t.Fatal("empty columns accepted")
+	}
+	if _, err := NewMulti("x", []string{"a"}, []float64{0, 1}, [][]float64{{1}}); err == nil {
+		t.Fatal("ragged column accepted")
+	}
+	if _, err := NewMulti("x", []string{"a"}, []float64{1, 0}, [][]float64{{1, 2}}); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestMultiColumn(t *testing.T) {
+	m := multiFixture(t, 10)
+	s, err := m.Column("load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 || s.Points[3].V != 6 {
+		t.Fatalf("column = %v", s.Points[:4])
+	}
+	if _, err := m.Column("nope"); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestAlignMultiAggregation(t *testing.T) {
+	m := multiFixture(t, 100)
+	out, class, err := AlignMulti(m, []float64{0, 10, 20, 30}, InterpLinear, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != AlignAggregation {
+		t.Fatalf("class = %v", class)
+	}
+	if out.Len() != 4 || len(out.Data) != 2 {
+		t.Fatalf("shape %d×%d", out.Len(), len(out.Data))
+	}
+	// Column "load" is 2t: bucket [10, 20) mean = 2·14.5 = 29.
+	if math.Abs(out.Data[1][1]-29) > 1e-9 {
+		t.Fatalf("load bucket = %g", out.Data[1][1])
+	}
+}
+
+func TestAlignMultiInterpolation(t *testing.T) {
+	m := multiFixture(t, 50)
+	targets := []float64{1.5, 1.75, 2.0, 2.25, 2.5} // mean step 0.25 < source step 1
+	out, class, err := AlignMulti(m, targets, InterpLinear, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != AlignInterpolation {
+		t.Fatalf("class = %v", class)
+	}
+	// Linear column interpolates exactly.
+	for i, tt := range targets {
+		if math.Abs(out.Data[1][i]-2*tt) > 1e-9 {
+			t.Fatalf("load(%g) = %g", tt, out.Data[1][i])
+		}
+	}
+}
+
+func TestAlignMultiEmpty(t *testing.T) {
+	m := &MultiSeries{Name: "e", Columns: []string{"a"}, Data: [][]float64{{}}}
+	if _, _, err := AlignMulti(m, []float64{1, 2}, InterpLinear, AggMean); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAlignMultiOutOfRange(t *testing.T) {
+	m := multiFixture(t, 10)
+	if _, _, err := AlignMulti(m, []float64{100, 100.1, 100.2, 100.25, 100.3}, InterpLinear, AggMean); err == nil {
+		t.Fatal("out-of-range targets accepted")
+	}
+}

@@ -1,0 +1,325 @@
+package wildfire
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"modeldata/internal/assimilate"
+	"modeldata/internal/rng"
+)
+
+func testParams() Params {
+	return Params{
+		SpreadProb: 0.25, BurnSteps: 5,
+		IntensityMean: 1, IntensityStd: 0.2,
+	}
+}
+
+func testSensors() Sensors {
+	return Sensors{Block: 4, Ambient: 20, FireTemp: 50, Noise: 5}
+}
+
+func centerIgnited(t *testing.T, w, h int) *State {
+	t.Helper()
+	s, err := NewState(w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Ignite(w/2, h/2, 1); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStateBasics(t *testing.T) {
+	s := centerIgnited(t, 8, 8)
+	if s.BurningCount() != 1 {
+		t.Fatal("ignite failed")
+	}
+	if c, err := s.At(4, 4); err != nil || c != Burning {
+		t.Fatalf("At = %v, %v", c, err)
+	}
+	if _, err := s.At(-1, 0); !errors.Is(err, ErrOffGrid) {
+		t.Fatalf("got %v", err)
+	}
+	if err := s.Ignite(99, 0, 1); !errors.Is(err, ErrOffGrid) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := NewState(0, 5); !errors.Is(err, ErrBadGrid) {
+		t.Fatalf("got %v", err)
+	}
+	c := s.Clone()
+	c.Cells[0] = Burned
+	if s.Cells[0] == Burned {
+		t.Fatal("Clone not deep")
+	}
+}
+
+func TestFireSpreadsAndBurnsOut(t *testing.T) {
+	s := centerIgnited(t, 16, 16)
+	r := rng.New(1)
+	p := testParams()
+	reached := 1
+	for i := 0; i < 40; i++ {
+		var err error
+		s, err = StepFire(s, p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, c := range s.BurnedOrBurning() {
+			if c {
+				n++
+			}
+		}
+		if n < reached {
+			t.Fatal("fire-reached set must be monotone")
+		}
+		reached = n
+	}
+	if reached < 10 {
+		t.Fatalf("fire reached only %d cells in 40 steps", reached)
+	}
+	// Eventually everything burns out with no fuel left.
+	for i := 0; i < 400 && s.BurningCount() > 0; i++ {
+		var err error
+		s, err = StepFire(s, p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.BurningCount() != 0 {
+		t.Fatal("fire never burned out")
+	}
+}
+
+func TestWindBias(t *testing.T) {
+	// Strong +x wind: fire front should reach farther right than left.
+	p := testParams()
+	p.WindX = 2
+	rightMinusLeft := 0
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		s := centerIgnited(t, 31, 31)
+		for i := 0; i < 12; i++ {
+			var err error
+			s, err = StepFire(s, p, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		maxRight, maxLeft := 0, 0
+		for y := 0; y < s.H; y++ {
+			for x := 0; x < s.W; x++ {
+				c, _ := s.At(x, y)
+				if c != Unburned {
+					if d := x - 15; d > maxRight {
+						maxRight = d
+					}
+					if d := 15 - x; d > maxLeft {
+						maxLeft = d
+					}
+				}
+			}
+		}
+		rightMinusLeft += maxRight - maxLeft
+	}
+	if rightMinusLeft <= 0 {
+		t.Fatalf("wind bias absent: Σ(right−left) = %d", rightMinusLeft)
+	}
+}
+
+func TestStepFireValidation(t *testing.T) {
+	s := centerIgnited(t, 4, 4)
+	if _, err := StepFire(s, Params{}, rng.New(1)); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSensorsObserveAndLogLik(t *testing.T) {
+	s := centerIgnited(t, 8, 8)
+	sm := testSensors()
+	if sm.Count(s) != 4 {
+		t.Fatalf("sensor count = %d", sm.Count(s))
+	}
+	r := rng.New(2)
+	y := sm.Observe(s, r)
+	if len(y) != 4 {
+		t.Fatalf("reading length = %d", len(y))
+	}
+	// The block containing the burning cell should read hotter on
+	// average.
+	hot := sm.SensorBlockOf(s, 4, 4)
+	sumHot, sumCold := 0.0, 0.0
+	for i := 0; i < 200; i++ {
+		y := sm.Observe(s, r)
+		sumHot += y[hot]
+		sumCold += y[(hot+1)%4]
+	}
+	if sumHot/200 < sumCold/200+30 {
+		t.Fatalf("hot block %g vs cold %g", sumHot/200, sumCold/200)
+	}
+	// Likelihood should prefer the true state over an empty one.
+	empty, err := NewState(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yTrue := sm.Observe(s, r)
+	if sm.LogLik(s, yTrue) <= sm.LogLik(empty, yTrue) {
+		t.Fatal("likelihood does not favour the generating state")
+	}
+	if !math.IsInf(sm.LogLik(s, []float64{1}), -1) {
+		t.Fatal("length mismatch should be -Inf")
+	}
+}
+
+func TestCellErrorAndConsensus(t *testing.T) {
+	a := centerIgnited(t, 6, 6)
+	b, err := NewState(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CellError(a, b) != 1 {
+		t.Fatalf("CellError = %d", CellError(a, b))
+	}
+	ps := []assimilate.Weighted[*State]{
+		{X: a, W: 0.7},
+		{X: b, W: 0.3},
+	}
+	cons, err := ConsensusState(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := cons.At(3, 3); c != Burning {
+		t.Fatalf("consensus center = %v", c)
+	}
+	if _, err := ConsensusState(nil); err == nil {
+		t.Fatal("empty particle set accepted")
+	}
+}
+
+// runAssimilation simulates a true fire with sensor readings and runs a
+// particle filter against it, returning the mean cell error across
+// steps.
+func runAssimilation(t *testing.T, model assimilate.Model[*State, []float64], n int, seed uint64) float64 {
+	t.Helper()
+	const w, h, steps = 12, 12, 15
+	p := testParams()
+	sm := testSensors()
+	r := rng.New(seed)
+	truth := centerIgnited(t, w, h)
+	f, err := assimilate.NewFilter(model, n, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalErr := 0
+	for step := 0; step < steps; step++ {
+		var err error
+		truth, err = StepFire(truth, p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y := sm.Observe(truth, r)
+		ps, err := f.Step(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons, err := ConsensusState(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalErr += CellError(cons, truth)
+	}
+	return float64(totalErr) / steps
+}
+
+func initState(t *testing.T) func(r *rng.Stream) *State {
+	return func(r *rng.Stream) *State {
+		s, err := NewState(12, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Ignite(6, 6, 1); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+}
+
+func TestAssimilationBeatsFreeRunning(t *testing.T) {
+	p := testParams()
+	sm := testSensors()
+	pfErr := runAssimilation(t, PriorModel(p, sm, initState(t)), 150, 5)
+
+	// Free-running baseline: one unassimilated simulation vs truth.
+	r := rng.New(5)
+	truth := centerIgnited(t, 12, 12)
+	free := centerIgnited(t, 12, 12)
+	rFree := rng.New(999)
+	totalErr := 0
+	for step := 0; step < 15; step++ {
+		var err error
+		truth, err = StepFire(truth, p, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Observe(truth, r) // keep the truth stream in lockstep with runAssimilation
+		free, err = StepFire(free, p, rFree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalErr += CellError(free, truth)
+	}
+	freeErr := float64(totalErr) / 15
+	if pfErr >= freeErr {
+		t.Fatalf("assimilation error %g not better than free-running %g", pfErr, freeErr)
+	}
+}
+
+func TestSensorAwareProposalReasonable(t *testing.T) {
+	p := testParams()
+	sm := testSensors()
+	cfg := SensorAwareConfig{M: 10}
+	// With few particles the sensor-aware proposal should remain
+	// competitive with the prior proposal (the paper reports accuracy
+	// improvements; we assert it is not substantially worse, leaving
+	// the precise comparison to the E9 experiment harness).
+	prior := runAssimilation(t, PriorModel(p, sm, initState(t)), 40, 21)
+	aware := runAssimilation(t, SensorAwareModel(p, sm, initState(t), cfg), 40, 21)
+	if aware > prior*1.5+2 {
+		t.Fatalf("sensor-aware error %g ≫ prior %g", aware, prior)
+	}
+}
+
+func TestSensorAwareAdjustment(t *testing.T) {
+	p := testParams()
+	sm := testSensors()
+	cfg := SensorAwareConfig{}.withDefaults(sm)
+	s := centerIgnited(t, 8, 8)
+	// Readings: all blocks scorching hot.
+	y := make([]float64, sm.Count(s))
+	for i := range y {
+		y[i] = 1000
+	}
+	r := rng.New(4)
+	adj := adjustBySensors(s, y, p, sm, cfg, r)
+	if adj.BurningCount() <= s.BurningCount() {
+		t.Fatal("hot sensors ignited nothing")
+	}
+	// All blocks cold: burning center should eventually extinguish.
+	for i := range y {
+		y[i] = 0
+	}
+	extinguished := false
+	for trial := 0; trial < 20; trial++ {
+		adj = adjustBySensors(s, y, p, sm, cfg, r)
+		if adj.BurningCount() == 0 {
+			extinguished = true
+			break
+		}
+	}
+	if !extinguished {
+		t.Fatal("cold sensors never extinguished the fire")
+	}
+}
