@@ -6,6 +6,7 @@ package modeldata_test
 // not hold. Micro-benchmarks for the hot substrate operations follow.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -25,7 +26,7 @@ import (
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Run(id, 20140622)
+		res, err := experiments.Run(context.Background(), id, 20140622)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,38 +4,51 @@
 //
 // Usage:
 //
-//	experiments [-run F1,E3] [-seed 20140622] [-md]
+//	experiments [-run F1,E3] [-seed 20140622] [-workers 8] [-md] [-stats]
 //
 // With no -run flag every registered experiment runs. -md emits a
-// Markdown table suitable for EXPERIMENTS.md.
+// Markdown table suitable for EXPERIMENTS.md; -workers bounds the
+// parallelism of every Monte Carlo loop (results are identical at any
+// worker count); -stats prints per-experiment throughput counters.
+// Interrupting the process (Ctrl-C) cancels the running experiment
+// promptly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
+	"modeldata"
 	"modeldata/internal/experiments"
 )
 
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
-	seed := flag.Uint64("seed", 20140622, "master random seed")
+	seed := flag.Uint64("seed", modeldata.DefaultSeed, "master random seed")
+	workers := flag.Int("workers", 0, "worker bound for parallel loops (0 = GOMAXPROCS)")
 	md := flag.Bool("md", false, "emit a Markdown report")
+	stats := flag.Bool("stats", false, "print per-experiment iteration and shuffle counters")
 	list := flag.Bool("list", false, "list registered experiment IDs and exit")
 	flag.Parse()
 
 	if *list {
-		for _, id := range experiments.IDs() {
+		for _, id := range modeldata.ExperimentIDs() {
 			fmt.Println(id)
 		}
 		return
 	}
 
-	ids := experiments.IDs()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	ids := modeldata.ExperimentIDs()
 	if *runList != "" {
 		ids = strings.Split(*runList, ",")
 		for i := range ids {
@@ -49,7 +62,15 @@ func main() {
 		fmt.Println("|---|---|---|---|")
 	}
 	for _, id := range ids {
-		res, err := experiments.Run(id, *seed)
+		var st modeldata.Stats
+		res, err := modeldata.Run(ctx, id,
+			modeldata.WithSeed(*seed),
+			modeldata.WithWorkers(*workers),
+			modeldata.WithStats(&st))
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			failures++
@@ -63,6 +84,10 @@ func main() {
 		} else {
 			fmt.Println(res)
 			printSeries(res)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "  [%s] iters=%d shuffle=%dB elapsed=%s rate=%.0f/s\n",
+				res.ID, st.Iterations, st.ShuffleBytes, st.Elapsed.Round(0), st.SamplesPerSec)
 		}
 	}
 	if failures > 0 {

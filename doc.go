@@ -35,7 +35,17 @@
 //
 //	go run ./cmd/experiments
 //
-// or individually via RunExperiment. The benchmarks in bench_test.go
+// or individually via Run with functional options:
+//
+//	res, err := modeldata.Run(ctx, "E1",
+//		modeldata.WithSeed(1),
+//		modeldata.WithWorkers(8),
+//		modeldata.WithProgress(func(done, total int) { ... }))
+//
+// Every Monte Carlo hot loop fans out over internal/parallel, a
+// deterministic runtime whose results are bit-identical to sequential
+// execution at any worker count (one pre-split random substream per
+// iteration index — see DESIGN.md). The benchmarks in bench_test.go
 // regenerate one experiment per paper artifact.
 package modeldata
 
@@ -48,8 +58,3 @@ type ExperimentResult = experiments.Result
 // paper's figures, E1–E13 for its quantitative claims) in display
 // order.
 func ExperimentIDs() []string { return experiments.IDs() }
-
-// RunExperiment executes one experiment by ID with the given seed.
-func RunExperiment(id string, seed uint64) (ExperimentResult, error) {
-	return experiments.Run(id, seed)
-}

@@ -8,10 +8,12 @@
 package assimilate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
 
@@ -170,6 +172,13 @@ type Filter[S, Y any] struct {
 	model Model[S, Y]
 	n     int
 	r     *rng.Stream
+	// Workers bounds particle-level parallelism per Step; zero uses the
+	// context default (see internal/parallel). Particle propagation and
+	// weighting are embarrassingly parallel; each particle draws from a
+	// substream split in particle order, so the filter trajectory is
+	// bit-identical at any worker count. Model hooks must be safe for
+	// concurrent calls with distinct streams.
+	Workers int
 	// Resampling may be disabled to obtain plain SIS, demonstrating
 	// weight collapse.
 	DisableResampling bool
@@ -202,27 +211,42 @@ func NewFilter[S, Y any](model Model[S, Y], n int, seed uint64) (*Filter[S, Y], 
 	return &Filter[S, Y]{model: model, n: n, r: rng.New(seed)}, nil
 }
 
-// Step assimilates the next observation: lines 1–4 of Algorithm 2 on
+// Step assimilates the next observation on the default worker pool.
+// See StepCtx.
+func (f *Filter[S, Y]) Step(y Y) ([]Weighted[S], error) {
+	return f.StepCtx(context.Background(), y)
+}
+
+// StepCtx assimilates the next observation: lines 1–4 of Algorithm 2 on
 // the first call, lines 6–11 afterwards. It returns the normalized
 // weighted particle set after the weight update (before resampling), so
-// callers can form estimates with the proper weights.
-func (f *Filter[S, Y]) Step(y Y) ([]Weighted[S], error) {
+// callers can form estimates with the proper weights. Particle
+// propagation and weighting fan out over the parallel runtime;
+// cancellation of ctx aborts between particles with ctx.Err().
+func (f *Filter[S, Y]) StepCtx(ctx context.Context, y Y) ([]Weighted[S], error) {
 	lw := make([]float64, f.n)
 	next := make([]Weighted[S], f.n)
+	opts := parallel.Options{Workers: f.Workers}
+	var err error
 	if f.step == 0 {
 		f.cumLogW = make([]float64, f.n)
-		for i := 0; i < f.n; i++ {
-			x := f.model.SampleInit(y, f.r.Split())
+		err = parallel.ForStreams(ctx, f.r, f.n, opts, func(i int, r *rng.Stream) error {
+			x := f.model.SampleInit(y, r)
 			lw[i] = f.model.LogWeightInit(x, y)
 			next[i] = Weighted[S]{X: x}
-		}
+			return nil
+		})
 	} else {
-		for i := 0; i < f.n; i++ {
+		err = parallel.ForStreams(ctx, f.r, f.n, opts, func(i int, r *rng.Stream) error {
 			prev := f.particles[i].X
-			x := f.model.SampleProposal(prev, y, f.r.Split())
+			x := f.model.SampleProposal(prev, y, r)
 			lw[i] = f.model.LogWeight(x, prev, y)
 			next[i] = Weighted[S]{X: x}
-		}
+			return nil
+		})
+	}
+	if err != nil {
+		return nil, err
 	}
 	// SIS recursion: wₙ = wₙ₋₁·αₙ. With resampling enabled the prior
 	// weights are uniform (reset below), so this reduces to αₙ alone.

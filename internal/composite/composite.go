@@ -385,6 +385,16 @@ func (c *Composite) topoOrder() ([]string, error) {
 // edge transformations convert datasets between ports, and the map of
 // every model's outputs (keyed "model.port") is returned.
 func (c *Composite) Run(r *rng.Stream) (map[string]Dataset, error) {
+	return c.RunWith(r, nil)
+}
+
+// RunWith executes the composite once like Run, with overrides taking
+// precedence over Bind-supplied external inputs (keys as produced by
+// bindKey: "model.port", lower-cased). Overrides do not mutate the
+// composite, so concurrent RunWith calls with distinct overrides and
+// streams are safe — this is what lets designed experiments evaluate
+// design points in parallel.
+func (c *Composite) RunWith(r *rng.Stream, overrides map[string]Dataset) (map[string]Dataset, error) {
 	order, err := c.topoOrder()
 	if err != nil {
 		return nil, err
@@ -395,6 +405,10 @@ func (c *Composite) Run(r *rng.Stream) (map[string]Dataset, error) {
 		ins := make(map[string]Dataset, len(m.Inputs))
 		for _, spec := range m.Inputs {
 			key := bindKey(m.Name, spec.Name)
+			if ds, ok := overrides[key]; ok {
+				ins[strings.ToLower(spec.Name)] = ds
+				continue
+			}
 			if ds, ok := c.inputs[key]; ok {
 				ins[strings.ToLower(spec.Name)] = ds
 				continue

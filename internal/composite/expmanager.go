@@ -1,10 +1,12 @@
 package composite
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 
+	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
 
@@ -93,7 +95,10 @@ func (p Parameter) scale(coded float64) float64 {
 }
 
 // RunPoint executes the composite once with the given natural-unit
-// parameter values and returns the scalar response.
+// parameter values and returns the scalar response. The parameter
+// bindings are passed as run-scoped overrides rather than written into
+// the composite, so concurrent RunPoint calls with distinct streams
+// are safe.
 func (m *Manager) RunPoint(values []float64, r *rng.Stream) (float64, error) {
 	if len(m.Params) == 0 {
 		return 0, ErrNoParams
@@ -104,12 +109,18 @@ func (m *Manager) RunPoint(values []float64, r *rng.Stream) (float64, error) {
 	if m.OutputModel == "" {
 		return 0, fmt.Errorf("%w: no output selected", ErrNoPort)
 	}
+	overrides := make(map[string]Dataset, len(m.Params))
 	for i, p := range m.Params {
-		if err := m.Comp.Bind(p.Model, p.Port, ScalarData(p.Port, values[i])); err != nil {
+		md, err := m.Comp.model(p.Model)
+		if err != nil {
 			return 0, err
 		}
+		if _, err := md.port(md.Inputs, p.Port); err != nil {
+			return 0, err
+		}
+		overrides[bindKey(p.Model, p.Port)] = ScalarData(p.Port, values[i])
 	}
-	results, err := m.Comp.Run(r)
+	results, err := m.Comp.RunWith(r, overrides)
 	if err != nil {
 		return 0, err
 	}
@@ -120,27 +131,42 @@ func (m *Manager) RunPoint(values []float64, r *rng.Stream) (float64, error) {
 	return out.Scalar, nil
 }
 
-// RunDesign executes one composite run per design row. Rows are coded
-// levels (±1 factorial levels or any values in [−1, +1], e.g. from a
-// scaled Latin hypercube), mapped onto each parameter's natural range.
-// Each run gets an independent random stream split from seed.
+// RunDesign executes one composite run per design row on the default
+// worker pool. See RunDesignCtx.
 func (m *Manager) RunDesign(coded [][]float64, seed uint64) ([]float64, error) {
-	parent := rng.New(seed)
-	out := make([]float64, len(coded))
+	return m.RunDesignCtx(context.Background(), coded, seed, 0)
+}
+
+// RunDesignCtx executes one composite run per design row. Rows are
+// coded levels (±1 factorial levels or any values in [−1, +1], e.g.
+// from a scaled Latin hypercube), mapped onto each parameter's natural
+// range. Design points fan out over the parallel runtime: each run
+// gets an independent random stream split from seed in row order, so
+// responses are bit-identical at any worker count. Component model Run
+// functions must be safe for concurrent calls with distinct streams.
+func (m *Manager) RunDesignCtx(ctx context.Context, coded [][]float64, seed uint64, workers int) ([]float64, error) {
 	for i, row := range coded {
 		if len(row) != len(m.Params) {
 			return nil, fmt.Errorf("%w: row %d has %d values for %d parameters",
 				ErrBadPoint, i, len(row), len(m.Params))
 		}
-		natural := make([]float64, len(row))
-		for j, c := range row {
-			natural[j] = m.Params[j].scale(c)
-		}
-		v, err := m.RunPoint(natural, parent.Split())
-		if err != nil {
-			return nil, fmt.Errorf("composite: design row %d: %w", i, err)
-		}
-		out[i] = v
+	}
+	out := make([]float64, len(coded))
+	err := parallel.ForStreams(ctx, rng.New(seed), len(coded), parallel.Options{Workers: workers},
+		func(i int, r *rng.Stream) error {
+			natural := make([]float64, len(coded[i]))
+			for j, c := range coded[i] {
+				natural[j] = m.Params[j].scale(c)
+			}
+			v, err := m.RunPoint(natural, r)
+			if err != nil {
+				return fmt.Errorf("composite: design row %d: %w", i, err)
+			}
+			out[i] = v
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

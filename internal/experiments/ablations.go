@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -28,7 +30,7 @@ func init() {
 
 // runA1 ablates the Kaczmarz exact-projection step against the paper's
 // plain decaying-step SGD on the spline system.
-func runA1(seed uint64) (Result, error) {
+func runA1(ctx context.Context, seed uint64) (Result, error) {
 	const n = 5000
 	tri := &linalg.Tridiagonal{
 		Sub: make([]float64, n-1), Diag: make([]float64, n), Super: make([]float64, n-1),
@@ -70,7 +72,7 @@ func runA1(seed uint64) (Result, error) {
 // the surface J(θ) is deterministic; without, simulation chatter makes
 // repeated evaluations at the same θ disagree, which derails
 // simplex-based optimizers.
-func runA2(seed uint64) (Result, error) {
+func runA2(ctx context.Context, seed uint64) (Result, error) {
 	trueTheta := []float64{0.3, 0.6}
 	r := rng.New(seed)
 	obs := make([][]float64, 30)
@@ -120,7 +122,7 @@ func runA2(seed uint64) (Result, error) {
 // runA3 ablates the RC reuse order: the paper's deterministic cycling
 // produces a stratified sample of M1 outputs; reusing cached outputs by
 // i.i.d. random draws instead inflates estimator variance.
-func runA3(seed uint64) (Result, error) {
+func runA3(ctx context.Context, seed uint64) (Result, error) {
 	const (
 		n     = 64
 		alpha = 0.25
@@ -177,7 +179,7 @@ func runA3(seed uint64) (Result, error) {
 // count (per-agent random streams are pre-split), and (ii) the
 // partition structure leaves a small critical path — the achievable
 // speedup bound Σwork / max-partition-work is large.
-func runA4(seed uint64) (Result, error) {
+func runA4(ctx context.Context, seed uint64) (Result, error) {
 	r := rng.New(seed)
 	agents := engine.MustNewTable("agents", engine.Schema{
 		{Name: "id", Type: engine.TypeInt},

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"time"
@@ -93,7 +95,7 @@ func SBPDatabase(nPatients int) (*mcdb.DB, error) {
 
 // runE1 compares tuple-bundle execution against naive per-iteration
 // re-execution of the SBP query.
-func runE1(seed uint64) (Result, error) {
+func runE1(ctx context.Context, seed uint64) (Result, error) {
 	const patients = 300
 	const iters = 300
 	db, err := SBPDatabase(patients)
@@ -101,7 +103,7 @@ func runE1(seed uint64) (Result, error) {
 		return Result{}, err
 	}
 	t0 := time.Now()
-	bundles, err := db.InstantiateBundled(iters, seed)
+	bundles, err := db.InstantiateBundledCtx(ctx, iters, seed, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -112,7 +114,7 @@ func runE1(seed uint64) (Result, error) {
 	bundleTime := time.Since(t0)
 
 	t0 = time.Now()
-	naive, err := db.MonteCarloNaive(iters, seed+1, func(inst *engine.Database) (float64, error) {
+	naive, err := db.MonteCarlo(ctx, iters, seed+1, 0, func(inst *engine.Database) (float64, error) {
 		tbl, err := inst.Get("sbp_data")
 		if err != nil {
 			return 0, err
@@ -148,7 +150,7 @@ func runE1(seed uint64) (Result, error) {
 
 // runE2 exercises SimSQL's database-valued Markov chain plus the
 // ABS-as-self-join step.
-func runE2(seed uint64) (Result, error) {
+func runE2(ctx context.Context, seed uint64) (Result, error) {
 	// Part 1: DB-valued chain with cross-table recursion A→B→A'.
 	schema := engine.Schema{{Name: "v", Type: engine.TypeFloat}}
 	oneRow := func(v float64) (*engine.Table, error) {
@@ -176,7 +178,7 @@ func runE2(seed uint64) (Result, error) {
 		}},
 	}}
 	const steps = 50
-	means, err := chain.MonteCarlo(steps, 30, seed, func(db *engine.Database) (float64, error) {
+	means, err := chain.MonteCarloCtx(ctx, steps, 30, seed, 0, func(db *engine.Database) (float64, error) {
 		b, err := db.Get("b")
 		if err != nil {
 			return 0, err
@@ -249,7 +251,7 @@ func runE2(seed uint64) (Result, error) {
 
 // runE3 compares the Thomas solver, sequential SGD, and DSGD on the
 // cubic-spline constant system, reporting residuals and shuffle bytes.
-func runE3(seed uint64) (Result, error) {
+func runE3(ctx context.Context, seed uint64) (Result, error) {
 	const m = 20000
 	ts := make([]float64, m+1)
 	vs := make([]float64, m+1)
@@ -309,7 +311,7 @@ func runE3(seed uint64) (Result, error) {
 
 // runE4 runs Splash-style time alignment in both directions on the
 // MapReduce runtime.
-func runE4(seed uint64) (Result, error) {
+func runE4(ctx context.Context, seed uint64) (Result, error) {
 	f := func(t float64) float64 { return math.Sin(t/8) + 0.2*math.Cos(t/2) }
 	// Source model output: tick 1 over [0, 500].
 	n := 501
@@ -344,7 +346,7 @@ func runE4(seed uint64) (Result, error) {
 	for t := 5.0; t < 495; t += 0.25 {
 		fineTicks = append(fineTicks, t)
 	}
-	interp, mrStats, err := timeseries.ParallelInterpolate(sp, fineTicks, mapreduce.Config{Mappers: 8, Reducers: 4})
+	interp, mrStats, err := timeseries.ParallelInterpolateCtx(ctx, sp, fineTicks, mapreduce.Config{Mappers: 8, Reducers: 4})
 	if err != nil {
 		return Result{}, err
 	}
@@ -375,7 +377,7 @@ func runE4(seed uint64) (Result, error) {
 
 // runE5 sweeps the (c1/c2, V1/V2) scenario grid of §2.3 and verifies
 // α* maximizes efficiency in every scenario.
-func runE5(uint64) (Result, error) {
+func runE5(_ context.Context, _ uint64) (Result, error) {
 	costRatios := []float64{1, 10, 100}
 	varRatios := []float64{1.5, 2, 10}
 	alphaGrid := []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.333, 0.5, 1}
@@ -419,7 +421,7 @@ func runE5(uint64) (Result, error) {
 
 // runE6 runs the Indemics Algorithm 1 experiment: vaccinate
 // preschoolers when >1% are infectious, vs no intervention.
-func runE6(seed uint64) (Result, error) {
+func runE6(ctx context.Context, seed uint64) (Result, error) {
 	run := func(policy bool) (float64, int, error) {
 		net, err := indemics.GeneratePopulation(indemics.PopulationConfig{
 			N: 10000, MeanDegree: 8, Rewire: 0.1,
@@ -473,7 +475,7 @@ func runE6(seed uint64) (Result, error) {
 
 // runE7 measures range-query accuracy in PDES-MAS under ALP skew, plus
 // the hop savings from SSV migration.
-func runE7(seed uint64) (Result, error) {
+func runE7(ctx context.Context, seed uint64) (Result, error) {
 	w, err := pdesmas.NewWorld(pdesmas.WorldConfig{
 		Agents: 1000, ALPs: 8, Leaves: 8,
 		DtMin: 0.05, DtMax: 0.4, Speed: 1, Span: 200,

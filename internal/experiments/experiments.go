@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -64,8 +65,11 @@ func (r Result) String() string {
 	return b.String()
 }
 
-// Runner executes one experiment.
-type Runner func(seed uint64) (Result, error)
+// Runner executes one experiment. The context carries cancellation and
+// the run-wide parallel configuration (worker bound, progress hook,
+// stats collector — see internal/parallel); runners thread it into
+// their Monte Carlo hot loops.
+type Runner func(ctx context.Context, seed uint64) (Result, error)
 
 // registry maps experiment IDs to runners, populated by init()
 // functions in the per-topic files.
@@ -109,11 +113,13 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given ID.
-func Run(id string, seed uint64) (Result, error) {
+// Run executes the experiment with the given ID. Cancellation and
+// parallel configuration (workers, progress, stats) travel on ctx; a
+// canceled context aborts the experiment mid-loop with ctx.Err().
+func Run(ctx context.Context, id string, seed uint64) (Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknown, id)
 	}
-	return r(seed)
+	return r(ctx, seed)
 }

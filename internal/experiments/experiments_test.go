@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func TestIDsOrder(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if _, err := Run("Z9", 1); !errors.Is(err, ErrUnknown) {
+	if _, err := Run(context.Background(), "Z9", 1); !errors.Is(err, ErrUnknown) {
 		t.Fatalf("got %v", err)
 	}
 }
@@ -35,7 +36,7 @@ func TestAllExperimentsReproduce(t *testing.T) {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(id, 20140622) // PODS'14 opening day
+			res, err := Run(context.Background(), id, 20140622) // PODS'14 opening day
 			if err != nil {
 				t.Fatalf("%s: %v", id, err)
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -30,7 +32,7 @@ func init() {
 
 // runE14 screens factors via fitted GP sensitivity coefficients: the
 // response depends on 2 of 6 factors; θ_j ≈ 0 flags the inactive ones.
-func runE14(seed uint64) (Result, error) {
+func runE14(ctx context.Context, seed uint64) (Result, error) {
 	const n = 6
 	active := map[int]bool{1: true, 4: true}
 	response := func(x []float64) float64 {
@@ -85,7 +87,7 @@ func runE14(seed uint64) (Result, error) {
 // runE15 optimizes the Algorithm 1 trigger threshold against the
 // economic-damage performance measure: SQL queries expose the
 // measure, and the trigger fraction is chosen by grid search.
-func runE15(seed uint64) (Result, error) {
+func runE15(ctx context.Context, seed uint64) (Result, error) {
 	const (
 		costPerCase    = 100.0
 		costPerVaccine = 40.0
@@ -152,7 +154,7 @@ func runE15(seed uint64) (Result, error) {
 // the §3.1 suggestion to replace deterministic kriging with stochastic
 // kriging, using replication-based noise estimates inside a sequential
 // surrogate loop.
-func runE16(seed uint64) (Result, error) {
+func runE16(ctx context.Context, seed uint64) (Result, error) {
 	trueTheta := []float64{0.3, 0.6}
 	r := rng.New(seed)
 	obs := make([][]float64, 30)
@@ -226,7 +228,7 @@ func runE16(seed uint64) (Result, error) {
 // waiting time of the first 100 customers. Result caching with the
 // pilot-estimated α* is compared empirically against no caching under
 // a fixed computing budget.
-func runE17(seed uint64) (Result, error) {
+func runE17(ctx context.Context, seed uint64) (Result, error) {
 	const (
 		nCustomers = 100
 		lambda     = 0.9

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -48,7 +50,7 @@ func HousingIndex(seed uint64) *timeseries.Series {
 // runF1 reproduces Figure 1: fit a simple time-series (quadratic
 // trend) model to 1970–2006 and extrapolate to 2011; the extrapolation
 // keeps climbing while the actual index collapses.
-func runF1(seed uint64) (Result, error) {
+func runF1(ctx context.Context, seed uint64) (Result, error) {
 	full := HousingIndex(seed)
 	train := full.Slice(1970, 2007)
 	model, err := timeseries.FitTrend(train, 2)
@@ -102,7 +104,7 @@ func runF1(seed uint64) (Result, error) {
 // the measured budget-scaled variance of the RC estimator matches the
 // asymptotic g(α), and the empirical efficiency-maximizing α matches
 // the closed-form α*.
-func runF2(seed uint64) (Result, error) {
+func runF2(ctx context.Context, seed uint64) (Result, error) {
 	ts := composite.TwoStage{
 		M1: func(r *rng.Stream) float64 { return r.Normal(0, 1) },
 		M2: func(y1 float64, r *rng.Stream) float64 { return y1 + r.Normal(0, 1) },
@@ -157,7 +159,7 @@ func runF2(seed uint64) (Result, error) {
 
 // runF3 reproduces Figure 3 verbatim: the 8-run resolution III
 // fractional factorial for seven parameters.
-func runF3(uint64) (Result, error) {
+func runF3(_ context.Context, _ uint64) (Result, error) {
 	d := doe.ResolutionIII7()
 	res := Result{
 		ID:     "F3",
@@ -178,17 +180,19 @@ func runF3(uint64) (Result, error) {
 
 // runF4 reproduces Figure 4: the main-effects plot for seven
 // parameters estimated from the 8-run Figure 3 design.
-func runF4(seed uint64) (Result, error) {
+func runF4(ctx context.Context, seed uint64) (Result, error) {
 	d := doe.ResolutionIII7()
 	beta := []float64{3, -2, 0.2, 4, 0, -1, 0.5}
-	r := rng.New(seed)
-	y := make([]float64, d.NumRuns())
-	for i, run := range d.Runs {
+	sim := func(levels []int, r *rng.Stream) float64 {
 		v := 50.0
 		for j, b := range beta {
-			v += b * float64(run[j])
+			v += b * float64(levels[j])
 		}
-		y[i] = v + r.Normal(0, 0.2)
+		return v + r.Normal(0, 0.2)
+	}
+	y, err := doe.EvaluateDesign(ctx, d, sim, doe.EvalOptions{Seed: seed})
+	if err != nil {
+		return Result{}, err
 	}
 	effects, err := doe.MainEffects(d, y)
 	if err != nil {
@@ -217,7 +221,7 @@ func runF4(seed uint64) (Result, error) {
 
 // runF5 reproduces Figure 5: an orthogonal Latin hypercube design for
 // two factors and nine runs with levels −4…4.
-func runF5(uint64) (Result, error) {
+func runF5(_ context.Context, _ uint64) (Result, error) {
 	lh, err := doe.OrthogonalLH29()
 	if err != nil {
 		return Result{}, err

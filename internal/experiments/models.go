@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -75,7 +77,7 @@ func TrafficMoments(theta []float64, r *rng.Stream) []float64 {
 
 // runE8 calibrates the traffic ABS with MSM and compares the
 // Nelder-Mead, grid, and kriging-surrogate (NOLH + GP) strategies.
-func runE8(seed uint64) (Result, error) {
+func runE8(ctx context.Context, seed uint64) (Result, error) {
 	trueTheta := []float64{0.3, 0.6}
 	// Synthetic "observed" data from the true parameters.
 	r := rng.New(seed)
@@ -190,7 +192,7 @@ func runE8(seed uint64) (Result, error) {
 // runE9 sweeps particle counts for the wildfire filter with the prior
 // proposal, compares against free-running simulation and the
 // sensor-aware proposal, and demonstrates SIS collapse.
-func runE9(seed uint64) (Result, error) {
+func runE9(ctx context.Context, seed uint64) (Result, error) {
 	p := wildfire.Params{SpreadProb: 0.25, BurnSteps: 5, IntensityMean: 1, IntensityStd: 0.2}
 	sm := wildfire.Sensors{Block: 4, Ambient: 20, FireTemp: 50, Noise: 5}
 	const w, h, steps = 16, 16, 15
@@ -228,7 +230,7 @@ func runE9(seed uint64) (Result, error) {
 		f.DisableResampling = disableResample
 		total := 0
 		for i := 0; i < steps; i++ {
-			ps, err := f.Step(obs[i])
+			ps, err := f.StepCtx(ctx, obs[i])
 			if err != nil {
 				return 0, 0, err
 			}
@@ -329,7 +331,7 @@ func runE9(seed uint64) (Result, error) {
 // runE10 verifies the §4.1 kriging properties: exact interpolation at
 // design points for deterministic simulation, smoothing under
 // stochastic kriging.
-func runE10(seed uint64) (Result, error) {
+func runE10(ctx context.Context, seed uint64) (Result, error) {
 	r := rng.New(seed)
 	f := func(p []float64) float64 { return math.Sin(3*p[0]) * math.Cos(2*p[1]) }
 	var x [][]float64
@@ -399,7 +401,7 @@ func runE10(seed uint64) (Result, error) {
 }
 
 // runE11 reproduces the §4.2 design-size ladder for seven factors.
-func runE11(uint64) (Result, error) {
+func runE11(_ context.Context, _ uint64) (Result, error) {
 	full, err := doe.FullFactorial(7)
 	if err != nil {
 		return Result{}, err
@@ -427,7 +429,7 @@ func runE11(uint64) (Result, error) {
 
 // runE12 compares sequential bifurcation against one-factor-at-a-time
 // screening on a 32-factor model with 3 important factors.
-func runE12(seed uint64) (Result, error) {
+func runE12(ctx context.Context, seed uint64) (Result, error) {
 	const n = 32
 	beta := make([]float64, n)
 	beta[4], beta[18], beta[27] = 6, 9, 4
@@ -461,7 +463,7 @@ func runE12(seed uint64) (Result, error) {
 
 // runE13 verifies the gridfield restrict/regrid commute law and its
 // cost saving on an irregular grid.
-func runE13(seed uint64) (Result, error) {
+func runE13(ctx context.Context, seed uint64) (Result, error) {
 	r := rng.New(seed)
 	src, err := gridfield.IrregularGrid2D("estuary", 40, 40, func(q int) bool { return r.Bool(0.15) })
 	if err != nil {

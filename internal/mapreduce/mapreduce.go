@@ -8,13 +8,14 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
+
+	"modeldata/internal/parallel"
 )
 
 // ErrNoInput is returned when a job is run with no input splits.
@@ -96,11 +97,21 @@ func workerCount(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Run executes a MapReduce job over the input splits and returns the
+// Run executes a MapReduce job over the input splits with no
+// cancellation. See RunCtx.
+func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
+	return RunCtx(context.Background(), cfg, splits, m, r)
+}
+
+// RunCtx executes a MapReduce job over the input splits and returns the
 // reducer output sorted by key (ties preserve reducer emission order),
 // along with execution statistics. The first mapper or reducer error
-// aborts the job.
-func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
+// aborts the job. Cancellation of ctx is honored between the map,
+// shuffle, and reduce stages and between tasks within a stage: a
+// canceled job stops scheduling work and returns ctx.Err() instead of
+// running to completion. Shuffle bytes are also credited to any
+// parallel.Stats collector carried by ctx.
+func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 	var stats Stats
 	if len(splits) == 0 {
 		return nil, stats, ErrNoInput
@@ -111,8 +122,8 @@ func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 		sizeOf = DefaultSizeOf
 	}
 
-	// Map phase: each worker accumulates per-partition output locally,
-	// so no locks are needed in the emit hot path.
+	// Map phase: each task accumulates per-partition output locally, so
+	// no locks are needed in the emit hot path.
 	nRed := workerCount(cfg.Reducers)
 	nMap := workerCount(cfg.Mappers)
 	type mapResult struct {
@@ -121,39 +132,32 @@ func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 		bytes int64
 	}
 	results := make([]mapResult, len(splits))
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, nMap)
-	for i, split := range splits {
-		wg.Add(1)
-		go func(i int, split any) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res := mapResult{parts: make([][]Pair, nRed)}
-			emit := func(p Pair) {
-				h := fnv.New32a()
-				h.Write([]byte(p.Key))
-				part := int(h.Sum32()) % nRed
-				res.parts[part] = append(res.parts[part], p)
-				res.count++
-				res.bytes += int64(len(p.Key) + sizeOf(p.Value))
-			}
-			if err := guard("map", func() error { return m(split, emit) }); err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return
-			}
-			results[i] = res
-		}(i, split)
-	}
-	wg.Wait()
-	if err, _ := firstErr.Load().(error); err != nil {
-		return nil, stats, fmt.Errorf("mapreduce: map: %w", err)
+	err := parallel.For(ctx, len(splits), parallel.Options{Workers: nMap}, func(i int) error {
+		res := mapResult{parts: make([][]Pair, nRed)}
+		emit := func(p Pair) {
+			h := fnv.New32a()
+			h.Write([]byte(p.Key))
+			part := int(h.Sum32()) % nRed
+			res.parts[part] = append(res.parts[part], p)
+			res.count++
+			res.bytes += int64(len(p.Key) + sizeOf(p.Value))
+		}
+		if err := guard("map", func() error { return m(splits[i], emit) }); err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, stats, mapreduceErr("map", err)
 	}
 
 	// Shuffle: group by key within each partition. Mapper order (split
 	// index) fixes value order within each key, keeping jobs
 	// deterministic.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
 	partitions := make([]map[string][]any, nRed)
 	for p := range partitions {
 		partitions[p] = make(map[string][]any)
@@ -167,34 +171,29 @@ func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 			}
 		}
 	}
+	parallel.StatsFrom(ctx).AddShuffleBytes(stats.ShuffleBytes)
 
 	// Reduce phase: partitions in parallel; keys sorted within each
 	// partition for determinism.
 	outParts := make([][]Pair, nRed)
-	var rwg sync.WaitGroup
-	for p := 0; p < nRed; p++ {
-		rwg.Add(1)
-		go func(p int) {
-			defer rwg.Done()
-			keys := make([]string, 0, len(partitions[p]))
-			for k := range partitions[p] {
-				keys = append(keys, k)
+	err = parallel.For(ctx, nRed, parallel.Options{Workers: nRed}, func(p int) error {
+		keys := make([]string, 0, len(partitions[p]))
+		for k := range partitions[p] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var out []Pair
+		for _, k := range keys {
+			emit := func(kv Pair) { out = append(out, kv) }
+			if err := guard("reduce", func() error { return r(k, partitions[p][k], emit) }); err != nil {
+				return err
 			}
-			sort.Strings(keys)
-			var out []Pair
-			for _, k := range keys {
-				emit := func(kv Pair) { out = append(out, kv) }
-				if err := guard("reduce", func() error { return r(k, partitions[p][k], emit) }); err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					return
-				}
-			}
-			outParts[p] = out
-		}(p)
-	}
-	rwg.Wait()
-	if err, _ := firstErr.Load().(error); err != nil {
-		return nil, stats, fmt.Errorf("mapreduce: reduce: %w", err)
+		}
+		outParts[p] = out
+		return nil
+	})
+	if err != nil {
+		return nil, stats, mapreduceErr("reduce", err)
 	}
 
 	for p := range partitions {
@@ -211,11 +210,28 @@ func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 	return out, stats, nil
 }
 
-// MapOnly runs just a parallel map over the splits with no shuffle or
-// reduce, returning each split's emissions concatenated in split order.
-// Splash uses this shape for per-window transformations whose outputs
-// are already disjoint.
+// mapreduceErr wraps a stage failure, passing context errors through
+// unwrapped so callers can match errors.Is(err, context.Canceled)
+// directly.
+func mapreduceErr(stage string, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return fmt.Errorf("mapreduce: %s: %w", stage, err)
+}
+
+// MapOnly runs just a parallel map over the splits with no
+// cancellation. See MapOnlyCtx.
 func MapOnly(cfg Config, splits []any, m Mapper) ([]Pair, Stats, error) {
+	return MapOnlyCtx(context.Background(), cfg, splits, m)
+}
+
+// MapOnlyCtx runs just a parallel map over the splits with no shuffle
+// or reduce, returning each split's emissions concatenated in split
+// order. Splash uses this shape for per-window transformations whose
+// outputs are already disjoint. Cancellation of ctx is honored between
+// map tasks.
+func MapOnlyCtx(ctx context.Context, cfg Config, splits []any, m Mapper) ([]Pair, Stats, error) {
 	var stats Stats
 	if len(splits) == 0 {
 		return nil, stats, ErrNoInput
@@ -223,28 +239,18 @@ func MapOnly(cfg Config, splits []any, m Mapper) ([]Pair, Stats, error) {
 	stats.InputSplits = len(splits)
 	nMap := workerCount(cfg.Mappers)
 	results := make([][]Pair, len(splits))
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, nMap)
-	for i, split := range splits {
-		wg.Add(1)
-		go func(i int, split any) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var local []Pair
-			if err := guard("map", func() error {
-				return m(split, func(p Pair) { local = append(local, p) })
-			}); err != nil {
-				firstErr.CompareAndSwap(nil, err)
-				return
-			}
-			results[i] = local
-		}(i, split)
-	}
-	wg.Wait()
-	if err, _ := firstErr.Load().(error); err != nil {
-		return nil, stats, fmt.Errorf("mapreduce: map: %w", err)
+	err := parallel.For(ctx, len(splits), parallel.Options{Workers: nMap}, func(i int) error {
+		var local []Pair
+		if err := guard("map", func() error {
+			return m(splits[i], func(p Pair) { local = append(local, p) })
+		}); err != nil {
+			return err
+		}
+		results[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, stats, mapreduceErr("map", err)
 	}
 	var out []Pair
 	for _, rs := range results {

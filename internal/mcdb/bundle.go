@@ -1,9 +1,11 @@
 package mcdb
 
 import (
+	"context"
 	"fmt"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
 
@@ -37,18 +39,29 @@ func (bt *BundleTable) uncPos(schemaIdx int) (int, bool) {
 }
 
 // InstantiateBundled realizes every stochastic table as a BundleTable
-// with iters Monte Carlo instantiations per uncertain cell. The outer
-// FOR EACH loop, parameter queries, and row assembly run once; only the
-// VG sampling repeats per iteration — this is the tuple-bundle
-// optimization.
+// with iters Monte Carlo instantiations per uncertain cell on the
+// default worker pool. See InstantiateBundledCtx.
 func (db *DB) InstantiateBundled(iters int, seed uint64) (map[string]*BundleTable, error) {
+	return db.InstantiateBundledCtx(context.Background(), iters, seed, 0)
+}
+
+// InstantiateBundledCtx realizes every stochastic table as a
+// BundleTable with iters Monte Carlo instantiations per uncertain
+// cell. The outer FOR EACH loop, parameter queries, and row assembly
+// run once; only the VG sampling repeats per iteration — this is the
+// tuple-bundle optimization. Tuples fan out over the parallel runtime
+// with one substream per tuple (split in tuple order), so the realized
+// bundles are bit-identical at any worker count. Spec Params and VG
+// hooks must be safe for concurrent calls with distinct streams; every
+// hook in this repository is.
+func (db *DB) InstantiateBundledCtx(ctx context.Context, iters int, seed uint64, workers int) (map[string]*BundleTable, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("mcdb: iters=%d", iters)
 	}
 	r := rng.New(seed)
 	out := make(map[string]*BundleTable, len(db.specs))
 	for _, spec := range db.specs {
-		bt, err := db.bundleSpec(spec, iters, r.Split())
+		bt, err := db.bundleSpec(ctx, spec, iters, r.Split(), workers)
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +70,7 @@ func (db *DB) InstantiateBundled(iters int, seed uint64) (map[string]*BundleTabl
 	return out, nil
 }
 
-func (db *DB) bundleSpec(spec *TableSpec, iters int, r *rng.Stream) (*BundleTable, error) {
+func (db *DB) bundleSpec(ctx context.Context, spec *TableSpec, iters int, r *rng.Stream, workers int) (*BundleTable, error) {
 	if len(spec.UncertainCols) == 0 {
 		return nil, fmt.Errorf("%w: %q has no UncertainCols for bundled execution", ErrBadSpec, spec.Name)
 	}
@@ -70,49 +83,57 @@ func (db *DB) bundleSpec(spec *TableSpec, iters int, r *rng.Stream) (*BundleTabl
 		Schema:        spec.Schema.Clone(),
 		Iters:         iters,
 		UncertainCols: append([]int(nil), spec.UncertainCols...),
+		Det:           make([]engine.Row, len(outers)),
+		Unc:           make([][][]float64, len(outers)),
 	}
-	for _, outer := range outers {
-		// Parameter query runs once per tuple (not per iteration).
-		params, err := db.vgParams(spec, outer)
-		if err != nil {
-			return nil, err
-		}
-		unc := make([][]float64, len(spec.UncertainCols))
-		for k := range unc {
-			unc[k] = make([]float64, iters)
-		}
-		var det engine.Row
-		for it := 0; it < iters; it++ {
-			vgOut, err := spec.VG(params, r)
+	err = parallel.ForStreams(ctx, r, len(outers), parallel.Options{Workers: workers},
+		func(ti int, tr *rng.Stream) error {
+			outer := outers[ti]
+			// Parameter query runs once per tuple (not per iteration).
+			params, err := db.vgParams(spec, outer)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			var row engine.Row
-			if spec.OutputRow != nil {
-				row = spec.OutputRow(outer, vgOut)
-			} else {
-				row = append(append(engine.Row{}, outer...), vgOut...)
+			unc := make([][]float64, len(spec.UncertainCols))
+			for k := range unc {
+				unc[k] = make([]float64, iters)
 			}
-			if len(row) != len(spec.Schema) {
-				return nil, fmt.Errorf("%w: %q produced %d values, schema has %d",
-					ErrBadSpec, spec.Name, len(row), len(spec.Schema))
-			}
-			if it == 0 {
-				det = row.Clone()
-				for _, c := range spec.UncertainCols {
-					det[c] = engine.Value{}
+			var det engine.Row
+			for it := 0; it < iters; it++ {
+				vgOut, err := spec.VG(params, tr)
+				if err != nil {
+					return err
+				}
+				var row engine.Row
+				if spec.OutputRow != nil {
+					row = spec.OutputRow(outer, vgOut)
+				} else {
+					row = append(append(engine.Row{}, outer...), vgOut...)
+				}
+				if len(row) != len(spec.Schema) {
+					return fmt.Errorf("%w: %q produced %d values, schema has %d",
+						ErrBadSpec, spec.Name, len(row), len(spec.Schema))
+				}
+				if it == 0 {
+					det = row.Clone()
+					for _, c := range spec.UncertainCols {
+						det[c] = engine.Value{}
+					}
+				}
+				for k, c := range spec.UncertainCols {
+					if !row[c].IsNumeric() {
+						return fmt.Errorf("%w: %q uncertain column %d is %s, bundles require numeric",
+							ErrBadSpec, spec.Name, c, row[c].Type())
+					}
+					unc[k][it] = row[c].AsFloat()
 				}
 			}
-			for k, c := range spec.UncertainCols {
-				if !row[c].IsNumeric() {
-					return nil, fmt.Errorf("%w: %q uncertain column %d is %s, bundles require numeric",
-						ErrBadSpec, spec.Name, c, row[c].Type())
-				}
-				unc[k][it] = row[c].AsFloat()
-			}
-		}
-		bt.Det = append(bt.Det, det)
-		bt.Unc = append(bt.Unc, unc)
+			bt.Det[ti] = det
+			bt.Unc[ti] = unc
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return bt, nil
 }

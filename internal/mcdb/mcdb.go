@@ -16,10 +16,12 @@
 package mcdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
 
@@ -197,26 +199,43 @@ func (db *DB) Instantiate(r *rng.Stream) (*engine.Database, error) {
 // query-result distribution.
 type Query func(inst *engine.Database) (float64, error)
 
-// MonteCarloNaive runs the query over iters independent database
-// instances, re-instantiating and re-executing everything per
-// iteration. This is the baseline MCDB's tuple-bundle execution is
-// measured against in experiment E1.
-func (db *DB) MonteCarloNaive(iters int, seed uint64, q Query) ([]float64, error) {
+// MonteCarlo runs the query over iters independent database instances,
+// re-instantiating and re-executing everything per iteration — the
+// naive strategy the tuple-bundle executor is measured against in
+// experiment E1. Iterations fan out over the parallel runtime: each
+// iteration draws from a substream split from seed in index order, so
+// the returned samples are bit-identical at any worker count (workers
+// ≤ 0 uses the context default). Cancellation of ctx aborts between
+// iterations with ctx.Err().
+func (db *DB) MonteCarlo(ctx context.Context, iters int, seed uint64, workers int, q Query) ([]float64, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("mcdb: iters=%d", iters)
 	}
-	r := rng.New(seed)
 	out := make([]float64, iters)
-	for i := 0; i < iters; i++ {
-		inst, err := db.Instantiate(r.Split())
-		if err != nil {
-			return nil, err
-		}
-		v, err := q(inst)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	err := parallel.ForStreams(ctx, rng.New(seed), iters, parallel.Options{Workers: workers},
+		func(i int, r *rng.Stream) error {
+			inst, err := db.Instantiate(r)
+			if err != nil {
+				return err
+			}
+			v, err := q(inst)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MonteCarloNaive runs the query over iters independent database
+// instances on the calling goroutine's default worker pool.
+//
+// Deprecated: use MonteCarlo, which adds cancellation and worker
+// control. The two produce identical samples for the same seed.
+func (db *DB) MonteCarloNaive(iters int, seed uint64, q Query) ([]float64, error) {
+	return db.MonteCarlo(context.Background(), iters, seed, 0, q)
 }

@@ -1,0 +1,221 @@
+package mcdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/parallel"
+	"modeldata/internal/rng"
+)
+
+// This file unifies the two MCDB execution strategies behind one entry
+// point. Historically callers chose between MonteCarloNaive (arbitrary
+// query closure, full re-instantiation per iteration) and
+// InstantiateBundled + BundleTable.Estimate (plan-once tuple bundles)
+// — two divergent call paths with different query representations. A
+// Session executes one declarative AggQuery under either strategy, so
+// strategy choice becomes a knob rather than a rewrite.
+
+// Strategy selects how a Session executes a query.
+type Strategy int
+
+// Execution strategies.
+const (
+	// StrategyAuto bundles when the target spec declares uncertain
+	// columns (the fast path) and falls back to naive otherwise.
+	StrategyAuto Strategy = iota
+	// StrategyNaive re-instantiates the database per iteration.
+	StrategyNaive
+	// StrategyBundle executes the plan once over tuple bundles.
+	StrategyBundle
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyNaive:
+		return "naive"
+	case StrategyBundle:
+		return "bundle"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// AggQuery is the declarative query form both strategies execute:
+//
+//	SELECT Fn(Col) FROM Table
+//	WHERE WhereDet(deterministic attrs) AND WhereUnc(uncertain attrs)
+//
+// evaluated once per Monte Carlo iteration, yielding one sample of the
+// query-result distribution per iteration. WhereDet must inspect only
+// deterministic columns (on the bundle path the uncertain positions of
+// its row argument hold zero Values); WhereUnc receives the tuple's
+// uncertain values at the current iteration, ordered as the spec's
+// UncertainCols. Supported aggregates: COUNT, SUM, AVG.
+type AggQuery struct {
+	Table    string
+	Col      string
+	Fn       engine.AggFunc
+	WhereDet func(det engine.Row) bool
+	WhereUnc UncPredicate
+}
+
+// ExecOptions configure one Session.Exec call.
+type ExecOptions struct {
+	Strategy   Strategy
+	Iterations int
+	// Workers bounds fan-out; zero uses the context default.
+	Workers int
+	Seed    uint64
+}
+
+// Session executes AggQueries over an MCDB, caching bundle
+// realizations so repeated queries against the same (iterations, seed)
+// pay the VG sampling cost once. A Session is safe for concurrent use.
+type Session struct {
+	db *DB
+
+	mu      sync.Mutex
+	bundles map[bundleKey]map[string]*BundleTable
+}
+
+type bundleKey struct {
+	iters int
+	seed  uint64
+}
+
+// NewSession opens a query session over the database.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, bundles: make(map[bundleKey]map[string]*BundleTable)}
+}
+
+// Exec runs q for opts.Iterations Monte Carlo iterations under the
+// selected strategy and returns the per-iteration samples. Results for
+// a given (strategy, iterations, seed) are bit-identical at any worker
+// count; ctx cancellation aborts mid-run with ctx.Err().
+func (s *Session) Exec(ctx context.Context, q AggQuery, opts ExecOptions) ([]float64, error) {
+	if opts.Iterations <= 0 {
+		return nil, fmt.Errorf("mcdb: iters=%d", opts.Iterations)
+	}
+	spec, err := s.db.Spec(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	switch q.Fn {
+	case engine.AggCount, engine.AggSum, engine.AggAvg:
+	default:
+		return nil, fmt.Errorf("mcdb: aggregate %v not supported by Exec", q.Fn)
+	}
+	strategy := opts.Strategy
+	if strategy == StrategyAuto {
+		if len(spec.UncertainCols) > 0 {
+			strategy = StrategyBundle
+		} else {
+			strategy = StrategyNaive
+		}
+	}
+	switch strategy {
+	case StrategyBundle:
+		return s.execBundle(ctx, spec, q, opts)
+	case StrategyNaive:
+		return s.execNaive(ctx, spec, q, opts)
+	default:
+		return nil, fmt.Errorf("mcdb: unknown strategy %v", opts.Strategy)
+	}
+}
+
+// bundlesFor returns (realizing on demand) the cached bundle tables for
+// one (iterations, seed) configuration.
+func (s *Session) bundlesFor(ctx context.Context, opts ExecOptions) (map[string]*BundleTable, error) {
+	key := bundleKey{iters: opts.Iterations, seed: opts.Seed}
+	s.mu.Lock()
+	cached, ok := s.bundles[key]
+	s.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	bundles, err := s.db.InstantiateBundledCtx(ctx, opts.Iterations, opts.Seed, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	// A racing realization of the same key produced identical bundles
+	// (same seed, deterministic runtime), so either copy may win.
+	if prior, ok := s.bundles[key]; ok {
+		bundles = prior
+	} else {
+		s.bundles[key] = bundles
+	}
+	s.mu.Unlock()
+	return bundles, nil
+}
+
+func (s *Session) execBundle(ctx context.Context, spec *TableSpec, q AggQuery, opts ExecOptions) ([]float64, error) {
+	bundles, err := s.bundlesFor(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	bt, ok := bundles[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSpec, q.Table)
+	}
+	if q.WhereDet != nil {
+		bt = bt.FilterDet(q.WhereDet)
+	}
+	return bt.Estimate(q.Col, q.Fn, q.WhereUnc)
+}
+
+func (s *Session) execNaive(ctx context.Context, spec *TableSpec, q AggQuery, opts ExecOptions) ([]float64, error) {
+	colIdx, err := spec.Schema.ColIndex(q.Col)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, opts.Iterations)
+	err = parallel.ForStreams(ctx, rng.New(opts.Seed), opts.Iterations, parallel.Options{Workers: opts.Workers},
+		func(i int, r *rng.Stream) error {
+			inst, err := s.db.Instantiate(r)
+			if err != nil {
+				return err
+			}
+			tbl, err := inst.Get(q.Table)
+			if err != nil {
+				return err
+			}
+			var sum float64
+			var count int
+			uncBuf := make([]float64, len(spec.UncertainCols))
+			for _, row := range tbl.Rows {
+				if q.WhereDet != nil && !q.WhereDet(row) {
+					continue
+				}
+				if q.WhereUnc != nil {
+					for k, c := range spec.UncertainCols {
+						uncBuf[k] = row[c].AsFloat()
+					}
+					if !q.WhereUnc(row, uncBuf) {
+						continue
+					}
+				}
+				sum += row[colIdx].AsFloat()
+				count++
+			}
+			switch q.Fn {
+			case engine.AggCount:
+				out[i] = float64(count)
+			case engine.AggSum:
+				out[i] = sum
+			case engine.AggAvg:
+				if count > 0 {
+					out[i] = sum / float64(count)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+// Package parallel is the deterministic fan-out runtime underneath
+// every embarrassingly parallel Monte Carlo loop in this repository:
+// MCDB naive and tuple-bundle realization (§2.1), SimSQL chain
+// replicates, particle propagation and weighting (Algorithm 2, §3.2),
+// MapReduce map/reduce stages (§2.2), and DoE design-point evaluation
+// (§4).
+//
+// # Determinism contract
+//
+// A parallel loop produces output that is bit-identical to sequential
+// execution at any worker count. The contract has two halves:
+//
+//  1. Randomness is assigned by iteration index, not by scheduling:
+//     callers pre-split one rng.Stream substream per iteration from the
+//     parent stream, in index order (rng.Stream.SplitN), before any
+//     worker starts. ForStreams packages this pattern.
+//  2. Each iteration writes only to its own index-addressed slot, and
+//     any cross-iteration reduction happens after the loop, in index
+//     order.
+//
+// Under these rules the worker count changes wall-clock time and
+// nothing else, which is what makes `go test -race` plus the root
+// determinism suite a meaningful check.
+//
+// # Context plumbing
+//
+// Worker bounds, progress callbacks, and per-run Stats counters travel
+// through context.Context (WithWorkers, WithProgress, WithStats), so
+// the public facade can configure a whole experiment run without every
+// intermediate layer threading extra parameters.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"modeldata/internal/rng"
+)
+
+// Options configure one parallel loop.
+type Options struct {
+	// Workers bounds loop parallelism. Zero or negative means "use the
+	// context default" (WorkersFrom: WithWorkers value, else
+	// GOMAXPROCS).
+	Workers int
+}
+
+// errBox carries the first error through an atomic.Value (which
+// requires a single concrete stored type).
+type errBox struct{ err error }
+
+// For runs fn(i) for every i in [0, n) on a bounded worker pool and
+// returns the first error. Iterations must follow the package
+// determinism contract: write only to slot i, derive randomness only
+// from per-index state. Cancellation of ctx is observed between
+// iterations; a canceled run returns ctx.Err() without starting further
+// iterations. Progress and Stats hooks installed on ctx are serviced
+// after each completed iteration.
+func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = WorkersFrom(ctx)
+	}
+	if workers > n {
+		workers = n
+	}
+	stats := StatsFrom(ctx)
+	progress := progressFrom(ctx)
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+			stats.AddIterations(1)
+			if progress != nil {
+				progress.report(i+1, n)
+			}
+		}
+		return nil
+	}
+
+	loopCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64
+		done     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if loopCtx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					firstErr.CompareAndSwap(nil, errBox{err})
+					cancel()
+					return
+				}
+				d := done.Add(1)
+				stats.AddIterations(1)
+				if progress != nil {
+					progress.report(int(d), n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if box, ok := firstErr.Load().(errBox); ok {
+		return box.err
+	}
+	return ctx.Err()
+}
+
+// ForStreams runs fn(i, streams[i]) for every i in [0, n), where the
+// substreams are pre-split from parent sequentially in index order
+// before any worker starts — the canonical deterministic Monte Carlo
+// loop. The parent stream is advanced exactly n splits regardless of
+// worker count, so a caller that continues drawing from parent after
+// the loop (e.g. for a resampling step) stays on the sequential
+// trajectory too.
+func ForStreams(ctx context.Context, parent *rng.Stream, n int, opts Options, fn func(i int, r *rng.Stream) error) error {
+	if n <= 0 {
+		return nil
+	}
+	streams := parent.SplitN(n)
+	return For(ctx, n, opts, func(i int) error { return fn(i, streams[i]) })
+}
+
+type ctxKey int
+
+const (
+	workersKey ctxKey = iota
+	statsKey
+	progressKey
+)
+
+// WithWorkers returns a context whose parallel loops default to n
+// workers (for loops that do not set Options.Workers explicitly).
+func WithWorkers(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, workersKey, n)
+}
+
+// WorkersFrom returns the context's default worker bound:
+// the WithWorkers value if positive, else GOMAXPROCS.
+func WorkersFrom(ctx context.Context) int {
+	if n, ok := ctx.Value(workersKey).(int); ok && n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// progressHook serializes a user progress callback so callers need not
+// make it safe for concurrent use.
+type progressHook struct {
+	mu sync.Mutex
+	fn func(done, total int)
+}
+
+func (p *progressHook) report(done, total int) {
+	p.mu.Lock()
+	p.fn(done, total)
+	p.mu.Unlock()
+}
+
+// WithProgress returns a context whose parallel loops report each
+// completed iteration to fn as fn(done, total). The callback is invoked
+// once per finished iteration of each loop (done counts completions,
+// which under parallelism is not the same as the highest finished
+// index), is serialized by the runtime, and must be cheap — it runs on
+// the worker's critical path.
+func WithProgress(ctx context.Context, fn func(done, total int)) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey, &progressHook{fn: fn})
+}
+
+func progressFrom(ctx context.Context) *progressHook {
+	h, _ := ctx.Value(progressKey).(*progressHook)
+	return h
+}
+
+// WithStats returns a context whose parallel loops (and the MapReduce
+// shuffle) accumulate counters into s. A nil s is accepted and means
+// "no accounting".
+func WithStats(ctx context.Context, s *Stats) context.Context {
+	return context.WithValue(ctx, statsKey, s)
+}
+
+// StatsFrom returns the Stats collector installed on ctx, or nil. All
+// Stats methods are nil-safe, so callers may use the result without
+// checking.
+func StatsFrom(ctx context.Context) *Stats {
+	s, _ := ctx.Value(statsKey).(*Stats)
+	return s
+}

@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stats accumulates per-run execution counters across every parallel
+// loop (and MapReduce shuffle) that runs under a context carrying it.
+// All methods are safe for concurrent use and nil-safe: a nil *Stats
+// counts nothing, so hot loops may call Add* unconditionally.
+type Stats struct {
+	start        time.Time
+	iterations   atomic.Int64
+	shuffleBytes atomic.Int64
+}
+
+// NewStats returns a Stats collector whose clock starts now.
+func NewStats() *Stats { return &Stats{start: time.Now()} }
+
+// AddIterations records n completed Monte Carlo iterations (samples,
+// particles, chain replicates, design points, …).
+func (s *Stats) AddIterations(n int64) {
+	if s != nil {
+		s.iterations.Add(n)
+	}
+}
+
+// AddShuffleBytes records n bytes moved through a shuffle stage.
+func (s *Stats) AddShuffleBytes(n int64) {
+	if s != nil {
+		s.shuffleBytes.Add(n)
+	}
+}
+
+// Iterations returns the iterations completed so far.
+func (s *Stats) Iterations() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.iterations.Load()
+}
+
+// ShuffleBytes returns the shuffle bytes recorded so far.
+func (s *Stats) ShuffleBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.shuffleBytes.Load()
+}
+
+// Elapsed returns the wall-clock time since NewStats.
+func (s *Stats) Elapsed() time.Duration {
+	if s == nil || s.start.IsZero() {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// SamplesPerSec returns the iteration throughput since NewStats.
+func (s *Stats) SamplesPerSec() float64 {
+	el := s.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(s.Iterations()) / el
+}
+
+// Snapshot is a point-in-time copy of the counters, safe to retain.
+type Snapshot struct {
+	Iterations    int64
+	ShuffleBytes  int64
+	Elapsed       time.Duration
+	SamplesPerSec float64
+}
+
+// Snapshot captures the current counter values.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Iterations:    s.Iterations(),
+		ShuffleBytes:  s.ShuffleBytes(),
+		Elapsed:       s.Elapsed(),
+		SamplesPerSec: s.SamplesPerSec(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("iters=%d shuffle=%dB elapsed=%s rate=%.4g/s",
+		s.Iterations, s.ShuffleBytes, s.Elapsed.Round(time.Millisecond), s.SamplesPerSec)
+}

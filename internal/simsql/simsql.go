@@ -12,10 +12,12 @@
 package simsql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
 
@@ -58,6 +60,13 @@ func PrevName(name string) string { return name + "_prev" }
 // and returns it. Each returned database contains the chain tables
 // under their plain names plus the static base tables.
 func (c *Chain) Run(steps int, seed uint64) (*Realization, error) {
+	return c.RunCtx(context.Background(), steps, seed)
+}
+
+// RunCtx is Run with cancellation: ctx is checked between chain steps,
+// so a long realization aborts promptly with ctx.Err() once the caller
+// gives up.
+func (c *Chain) RunCtx(ctx context.Context, steps int, seed uint64) (*Realization, error) {
 	if len(c.Defs) == 0 {
 		return nil, ErrNoDefs
 	}
@@ -72,6 +81,9 @@ func (c *Chain) Run(steps int, seed uint64) (*Realization, error) {
 	realz := &Realization{}
 	var prev *engine.Database
 	for i := 0; i <= steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		state := base.Clone()
 		if prev != nil {
 			for _, def := range c.Defs {
@@ -144,24 +156,43 @@ func (r *Realization) Trace(q func(db *engine.Database) (float64, error)) ([]flo
 	return out, nil
 }
 
-// MonteCarlo samples nChains independent realizations and returns the
-// per-version mean of the scalar query across chains — estimating
-// E[f(D[i])] for each i.
+// MonteCarlo samples nChains independent realizations on the default
+// worker pool. See MonteCarloCtx.
 func (c *Chain) MonteCarlo(steps, nChains int, seed uint64, q func(db *engine.Database) (float64, error)) ([]float64, error) {
+	return c.MonteCarloCtx(context.Background(), steps, nChains, seed, 0, q)
+}
+
+// MonteCarloCtx samples nChains independent realizations and returns
+// the per-version mean of the scalar query across chains — estimating
+// E[f(D[i])] for each i. Chain replicates fan out over the parallel
+// runtime: each replicate's seed is drawn from the parent stream in
+// replicate order before any worker starts, and per-version traces are
+// reduced in replicate order after the loop, so results are
+// bit-identical at any worker count. Generate and query hooks must be
+// safe for concurrent calls on distinct realizations.
+func (c *Chain) MonteCarloCtx(ctx context.Context, steps, nChains int, seed uint64, workers int, q func(db *engine.Database) (float64, error)) ([]float64, error) {
 	if nChains <= 0 {
 		return nil, fmt.Errorf("simsql: nChains=%d", nChains)
 	}
 	parent := rng.New(seed)
+	seeds := make([]uint64, nChains)
+	for n := range seeds {
+		seeds[n] = parent.Uint64()
+	}
+	traces := make([][]float64, nChains)
+	err := parallel.For(ctx, nChains, parallel.Options{Workers: workers}, func(n int) error {
+		realz, err := c.RunCtx(ctx, steps, seeds[n])
+		if err != nil {
+			return err
+		}
+		traces[n], err = realz.Trace(q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	sums := make([]float64, steps+1)
-	for n := 0; n < nChains; n++ {
-		realz, err := c.Run(steps, parent.Uint64())
-		if err != nil {
-			return nil, err
-		}
-		trace, err := realz.Trace(q)
-		if err != nil {
-			return nil, err
-		}
+	for _, trace := range traces {
 		for i, v := range trace {
 			sums[i] += v
 		}

@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -130,12 +131,20 @@ type window struct {
 }
 
 // ParallelInterpolate performs spline interpolation on the MapReduce
-// runtime following §2.2: spline constants are computed once (by the
-// provided fit, typically exact Thomas or DSGD), source segments become
-// windows processed by parallel mappers, and the target series is
-// assembled by the framework's parallel sort. It returns the aligned
-// series and the job statistics.
+// runtime with no cancellation. See ParallelInterpolateCtx.
 func ParallelInterpolate(sp *Spline, targetTicks []float64, cfg mapreduce.Config) (*Series, mapreduce.Stats, error) {
+	return ParallelInterpolateCtx(context.Background(), sp, targetTicks, cfg)
+}
+
+// ParallelInterpolateCtx performs spline interpolation on the
+// MapReduce runtime following §2.2: spline constants are computed once
+// (by the provided fit, typically exact Thomas or DSGD), source
+// segments become windows processed by parallel mappers, and the
+// target series is assembled by the framework's parallel sort. It
+// returns the aligned series and the job statistics. Cancellation of
+// ctx aborts the job between stages with ctx.Err(); shuffle bytes are
+// credited to any parallel.Stats collector carried by ctx.
+func ParallelInterpolateCtx(ctx context.Context, sp *Spline, targetTicks []float64, cfg mapreduce.Config) (*Series, mapreduce.Stats, error) {
 	s := sp.s
 	// Assign each target tick to its window.
 	sorted := make([]float64, len(targetTicks))
@@ -161,7 +170,7 @@ func ParallelInterpolate(sp *Spline, targetTicks []float64, cfg mapreduce.Config
 	if len(splits) == 0 {
 		return &Series{Name: s.Name}, mapreduce.Stats{}, nil
 	}
-	out, stats, err := mapreduce.Run(cfg, splits,
+	out, stats, err := mapreduce.RunCtx(ctx, cfg, splits,
 		func(split any, emit func(mapreduce.Pair)) error {
 			w := split.(*window)
 			for _, t := range w.targets {

@@ -1,0 +1,102 @@
+package modeldata
+
+import (
+	"context"
+	"time"
+
+	"modeldata/internal/experiments"
+	"modeldata/internal/parallel"
+)
+
+// DefaultSeed is the master seed used when WithSeed is not supplied —
+// the paper's publication date, as everywhere else in this repo.
+const DefaultSeed uint64 = 20140622
+
+// Stats reports what one Run did: iterations completed across every
+// parallel loop the experiment executed, estimated bytes moved through
+// MapReduce shuffles, wall-clock time, and the resulting throughput.
+type Stats struct {
+	Iterations    int64
+	ShuffleBytes  int64
+	Elapsed       time.Duration
+	SamplesPerSec float64
+}
+
+// config collects the options applied to one Run.
+type config struct {
+	seed     uint64
+	workers  int
+	progress func(done, total int)
+	stats    *Stats
+}
+
+// Option configures a Run call.
+type Option func(*config)
+
+// WithSeed sets the master random seed (default DefaultSeed). Equal
+// seeds give bit-identical results at any worker count.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithWorkers bounds the parallelism of every Monte Carlo loop inside
+// the experiment. Zero or negative means GOMAXPROCS. The worker count
+// affects wall-clock time only, never the numbers produced.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithProgress registers a callback invoked as parallel loops complete
+// iterations, with the completed and total counts of the current loop.
+// Calls are serialized; the callback must not block for long.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithStats asks Run to fill *dst with per-run counters (iterations,
+// shuffle bytes, elapsed time, samples/sec) when it returns.
+func WithStats(dst *Stats) Option {
+	return func(c *config) { c.stats = dst }
+}
+
+// Run executes one experiment by ID. Cancellation of ctx aborts the
+// experiment promptly with ctx.Err(); options configure the seed,
+// worker bound, progress reporting, and stats collection. Results are
+// deterministic in (id, seed) alone — see DESIGN.md for the substream
+// determinism contract.
+func Run(ctx context.Context, id string, opts ...Option) (ExperimentResult, error) {
+	cfg := config{seed: DefaultSeed}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers > 0 {
+		ctx = parallel.WithWorkers(ctx, cfg.workers)
+	}
+	if cfg.progress != nil {
+		ctx = parallel.WithProgress(ctx, cfg.progress)
+	}
+	var ps *parallel.Stats
+	if cfg.stats != nil {
+		ps = parallel.NewStats()
+		ctx = parallel.WithStats(ctx, ps)
+	}
+	res, err := experiments.Run(ctx, id, cfg.seed)
+	if cfg.stats != nil {
+		snap := ps.Snapshot()
+		*cfg.stats = Stats{
+			Iterations:    snap.Iterations,
+			ShuffleBytes:  snap.ShuffleBytes,
+			Elapsed:       snap.Elapsed,
+			SamplesPerSec: snap.SamplesPerSec,
+		}
+	}
+	return res, err
+}
+
+// RunExperiment executes one experiment by ID with the given seed.
+//
+// Deprecated: use Run, which adds cancellation, worker bounds,
+// progress reporting, and stats collection via options.
+func RunExperiment(id string, seed uint64) (ExperimentResult, error) {
+	return Run(context.Background(), id, WithSeed(seed))
+}

@@ -1,0 +1,69 @@
+package modeldata_test
+
+// Speedup benchmarks for the deterministic parallel runtime: the same
+// Monte Carlo workload at worker counts 1 vs NumCPU must produce
+// identical numbers, differing only in wall-clock time. Compare with
+//
+//	go test -bench 'MCDBMonteCarlo|FilterStepWorkers' -benchtime 3x
+//
+// On a machine with ≥4 cores the workers=N variants should run ≥2×
+// faster than workers=1 (EXPERIMENTS.md records a sample run); on
+// fewer cores the parallel variants are skipped since there is no
+// speedup to measure.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/experiments"
+)
+
+func benchMCDBMonteCarlo(b *testing.B, workers int) {
+	if workers > 1 && runtime.NumCPU() < 4 {
+		b.Skipf("NumCPU = %d < 4: no parallel speedup to measure", runtime.NumCPU())
+	}
+	db, err := experiments.SBPDatabase(400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := db.MonteCarlo(context.Background(), 200, 1, workers,
+			func(inst *engine.Database) (float64, error) {
+				tbl, err := inst.Get("sbp_data")
+				if err != nil {
+					return 0, err
+				}
+				return engine.From(tbl).
+					GroupBy(nil, engine.Aggregate{Fn: engine.AggAvg, Col: "sbp", As: "m"}).
+					ScalarFloat()
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCDBMonteCarloWorkers1(b *testing.B) { benchMCDBMonteCarlo(b, 1) }
+func BenchmarkMCDBMonteCarloWorkersN(b *testing.B) { benchMCDBMonteCarlo(b, runtime.NumCPU()) }
+
+func benchFilterStep(b *testing.B, workers int) {
+	if workers > 1 && runtime.NumCPU() < 4 {
+		b.Skipf("NumCPU = %d < 4: no parallel speedup to measure", runtime.NumCPU())
+	}
+	f, obs, err := scalarFilter(4096, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.StepCtx(context.Background(), obs[i%len(obs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterStepWorkers1(b *testing.B) { benchFilterStep(b, 1) }
+func BenchmarkFilterStepWorkersN(b *testing.B) { benchFilterStep(b, runtime.NumCPU()) }
