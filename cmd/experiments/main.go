@@ -5,13 +5,16 @@
 // Usage:
 //
 //	experiments [-run F1,E3] [-seed 20140622] [-workers 8] [-md] [-stats]
+//	            [-retries 2] [-spec 3]
 //
 // With no -run flag every registered experiment runs. -md emits a
 // Markdown table suitable for EXPERIMENTS.md; -workers bounds the
 // parallelism of every Monte Carlo loop (results are identical at any
-// worker count); -stats prints per-experiment throughput counters.
-// Interrupting the process (Ctrl-C) cancels the running experiment
-// promptly.
+// worker count); -stats prints per-experiment throughput and
+// fault-tolerance counters. -retries grants every runtime task a retry
+// budget and -spec enables speculative re-execution of stragglers;
+// neither changes the numbers produced. Interrupting the process
+// (Ctrl-C) cancels the running experiment promptly.
 package main
 
 import (
@@ -34,7 +37,9 @@ func main() {
 	seed := flag.Uint64("seed", modeldata.DefaultSeed, "master random seed")
 	workers := flag.Int("workers", 0, "worker bound for parallel loops (0 = GOMAXPROCS)")
 	md := flag.Bool("md", false, "emit a Markdown report")
-	stats := flag.Bool("stats", false, "print per-experiment iteration and shuffle counters")
+	stats := flag.Bool("stats", false, "print per-experiment iteration, shuffle, and fault-tolerance counters")
+	retries := flag.Int("retries", 0, "per-task retry budget for runtime fault tolerance")
+	spec := flag.Float64("spec", 0, "speculative-execution factor (backup tasks beyond this multiple of the median task time; 0 = off)")
 	list := flag.Bool("list", false, "list registered experiment IDs and exit")
 	flag.Parse()
 
@@ -66,6 +71,8 @@ func main() {
 		res, err := modeldata.Run(ctx, id,
 			modeldata.WithSeed(*seed),
 			modeldata.WithWorkers(*workers),
+			modeldata.WithRetries(*retries),
+			modeldata.WithSpeculation(*spec),
 			modeldata.WithStats(&st))
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted")
@@ -86,8 +93,10 @@ func main() {
 			printSeries(res)
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "  [%s] iters=%d shuffle=%dB elapsed=%s rate=%.0f/s\n",
-				res.ID, st.Iterations, st.ShuffleBytes, st.Elapsed.Round(0), st.SamplesPerSec)
+			fmt.Fprintf(os.Stderr, "  [%s] iters=%d shuffle=%dB attempts=%d retries=%d spec=%d/%d backoff=%s elapsed=%s rate=%.0f/s\n",
+				res.ID, st.Iterations, st.ShuffleBytes,
+				st.TaskAttempts, st.Retries, st.SpeculativeWins, st.SpeculativeLaunches,
+				st.BackoffTime.Round(0), st.Elapsed.Round(0), st.SamplesPerSec)
 		}
 	}
 	if failures > 0 {

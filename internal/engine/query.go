@@ -11,6 +11,14 @@ import (
 //		WhereFloat("age", func(a float64) bool { return a < 5 }).
 //		Select("pid").
 //		Run()
+//
+// Every builder method returns a new Query and leaves its receiver
+// unchanged (tables are immutable-by-construction, so the copy is one
+// word), which makes saved prefixes branchable:
+//
+//	base := engine.From(people).WhereFloat("age", adult)
+//	ids := base.Select("pid")     // does not affect base
+//	n, _ := base.Count()          // still the un-projected prefix
 type Query struct {
 	t   *Table
 	err error
@@ -18,6 +26,13 @@ type Query struct {
 
 // From starts a query over t.
 func From(t *Table) *Query { return &Query{t: t} }
+
+// branch returns a copy of q for a builder method to advance, so the
+// receiver stays reusable as a shared prefix.
+func (q *Query) branch() *Query {
+	c := *q
+	return &c
+}
 
 // Run returns the result table or the first error encountered.
 func (q *Query) Run() (*Table, error) {
@@ -42,8 +57,9 @@ func (q *Query) Where(pred Predicate) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t = Select(q.t, pred)
-	return q
+	nq := q.branch()
+	nq.t = Select(q.t, pred)
+	return nq
 }
 
 // WhereEq keeps rows whose column equals v.
@@ -51,13 +67,14 @@ func (q *Query) WhereEq(col string, v Value) *Query {
 	if q.err != nil {
 		return q
 	}
+	nq := q.branch()
 	j, err := q.t.ColIndex(col)
 	if err != nil {
-		q.err = err
-		return q
+		nq.err = err
+		return nq
 	}
-	q.t = Select(q.t, func(r Row) bool { return r[j].Equal(v) })
-	return q
+	nq.t = Select(q.t, func(r Row) bool { return r[j].Equal(v) })
+	return nq
 }
 
 // WhereFloat keeps rows for which pred holds on the numeric column.
@@ -65,13 +82,14 @@ func (q *Query) WhereFloat(col string, pred func(float64) bool) *Query {
 	if q.err != nil {
 		return q
 	}
+	nq := q.branch()
 	j, err := q.t.ColIndex(col)
 	if err != nil {
-		q.err = err
-		return q
+		nq.err = err
+		return nq
 	}
-	q.t = Select(q.t, func(r Row) bool { return r[j].IsNumeric() && pred(r[j].AsFloat()) })
-	return q
+	nq.t = Select(q.t, func(r Row) bool { return r[j].IsNumeric() && pred(r[j].AsFloat()) })
+	return nq
 }
 
 // WhereString keeps rows for which pred holds on the string column.
@@ -79,13 +97,14 @@ func (q *Query) WhereString(col string, pred func(string) bool) *Query {
 	if q.err != nil {
 		return q
 	}
+	nq := q.branch()
 	j, err := q.t.ColIndex(col)
 	if err != nil {
-		q.err = err
-		return q
+		nq.err = err
+		return nq
 	}
-	q.t = Select(q.t, func(r Row) bool { return r[j].Type() == TypeString && pred(r[j].AsString()) })
-	return q
+	nq.t = Select(q.t, func(r Row) bool { return r[j].Type() == TypeString && pred(r[j].AsString()) })
+	return nq
 }
 
 // Select projects to the named columns.
@@ -93,8 +112,9 @@ func (q *Query) Select(cols ...string) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t, q.err = Project(q.t, cols...)
-	return q
+	nq := q.branch()
+	nq.t, nq.err = Project(q.t, cols...)
+	return nq
 }
 
 // Join equijoins the current result with other on leftCol = rightCol.
@@ -102,8 +122,9 @@ func (q *Query) Join(other *Table, leftCol, rightCol string) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t, q.err = EquiJoin(q.t, other, leftCol, rightCol)
-	return q
+	nq := q.branch()
+	nq.t, nq.err = EquiJoin(q.t, other, leftCol, rightCol)
+	return nq
 }
 
 // GroupBy groups by keys and computes aggs.
@@ -111,8 +132,9 @@ func (q *Query) GroupBy(keys []string, aggs ...Aggregate) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t, q.err = GroupBy(q.t, keys, aggs)
-	return q
+	nq := q.branch()
+	nq.t, nq.err = GroupBy(q.t, keys, aggs)
+	return nq
 }
 
 // OrderBy sorts by the column.
@@ -120,8 +142,9 @@ func (q *Query) OrderBy(col string, desc bool) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t, q.err = OrderBy(q.t, col, desc)
-	return q
+	nq := q.branch()
+	nq.t, nq.err = OrderBy(q.t, col, desc)
+	return nq
 }
 
 // Distinct removes duplicate rows.
@@ -129,8 +152,9 @@ func (q *Query) Distinct() *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t = Distinct(q.t)
-	return q
+	nq := q.branch()
+	nq.t = Distinct(q.t)
+	return nq
 }
 
 // Limit truncates to n rows.
@@ -138,8 +162,9 @@ func (q *Query) Limit(n int) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t = Limit(q.t, n)
-	return q
+	nq := q.branch()
+	nq.t = Limit(q.t, n)
+	return nq
 }
 
 // Extend appends a computed column.
@@ -147,8 +172,9 @@ func (q *Query) Extend(name string, typ Type, f func(Row) Value) *Query {
 	if q.err != nil {
 		return q
 	}
-	q.t, q.err = Extend(q.t, name, typ, f)
-	return q
+	nq := q.branch()
+	nq.t, nq.err = Extend(q.t, name, typ, f)
+	return nq
 }
 
 // Count runs the query and returns its row count.

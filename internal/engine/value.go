@@ -11,6 +11,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -108,11 +109,80 @@ func (v Value) AsBool() bool {
 // IsNumeric reports whether the value is an int or float.
 func (v Value) IsNumeric() bool { return v.typ == TypeInt || v.typ == TypeFloat }
 
+// exactInt64 bounds for float64 range checks: 2^63 is exactly
+// representable as a float64, so f < maxInt64AsFloat excludes every
+// float at or above 2^63 and f >= minInt64AsFloat admits exactly
+// math.MinInt64 (which is a power of two and thus exact).
+const (
+	maxInt64AsFloat = 9223372036854775808.0  // 2^63
+	minInt64AsFloat = -9223372036854775808.0 // -2^63
+)
+
+// floatRepresentable reports whether the int64 round-trips exactly
+// through float64 — true for all |i| ≤ 2^53 and for larger ints whose
+// low bits happen to vanish.
+func floatRepresentable(i int64) bool {
+	f := float64(i)
+	return f >= minInt64AsFloat && f < maxInt64AsFloat && int64(f) == i
+}
+
+// floatEqualsInt reports f == i exactly, without rounding i through
+// float64 (float64(i) == f would wrongly equate 2^53+1 with 2^53.0).
+func floatEqualsInt(f float64, i int64) bool {
+	return f == math.Trunc(f) && f >= minInt64AsFloat && f < maxInt64AsFloat && int64(f) == i
+}
+
+// intLessFloat reports i < f exactly. NaN compares as neither less nor
+// greater, matching float64 semantics.
+func intLessFloat(i int64, f float64) bool {
+	if math.IsNaN(f) {
+		return false
+	}
+	if f >= maxInt64AsFloat {
+		return true
+	}
+	if f < minInt64AsFloat {
+		return false
+	}
+	g := math.Floor(f) // in [-2^63, 2^63), safe to convert
+	gi := int64(g)
+	if i != gi {
+		return i < gi
+	}
+	return f != g // equal integer parts: i < f iff f has a fraction
+}
+
+// floatLessInt reports f < i exactly: true iff floor(f) < i.
+func floatLessInt(f float64, i int64) bool {
+	if math.IsNaN(f) {
+		return false
+	}
+	if f >= maxInt64AsFloat {
+		return false
+	}
+	if f < minInt64AsFloat {
+		return true
+	}
+	return int64(math.Floor(f)) < i
+}
+
 // Equal reports value equality. Ints and floats compare numerically
-// across the two numeric types.
+// across the two numeric types, exactly: an int/int pair compares as
+// int64 (no precision loss above 2^53), and a mixed int/float pair is
+// equal only when the float is the exact integer — Int(2^53+1) is not
+// equal to Float(2^53) even though both round to the same float64.
 func (v Value) Equal(o Value) bool {
+	if v.typ == TypeInt && o.typ == TypeInt {
+		return v.i == o.i
+	}
 	if v.IsNumeric() && o.IsNumeric() {
-		return v.AsFloat() == o.AsFloat()
+		if v.typ == TypeInt {
+			return floatEqualsInt(o.f, v.i)
+		}
+		if o.typ == TypeInt {
+			return floatEqualsInt(v.f, o.i)
+		}
+		return v.f == o.f
 	}
 	if v.typ != o.typ {
 		return false
@@ -127,11 +197,22 @@ func (v Value) Equal(o Value) bool {
 }
 
 // Less defines a total order within comparable types: numerics compare
-// numerically, strings lexically, bools false < true. Cross-type
-// comparisons between non-numeric types order by type tag.
+// numerically and exactly (int/int as int64, mixed int/float without
+// rounding the int through float64), strings lexically, bools
+// false < true. Cross-type comparisons between non-numeric types order
+// by type tag.
 func (v Value) Less(o Value) bool {
+	if v.typ == TypeInt && o.typ == TypeInt {
+		return v.i < o.i
+	}
 	if v.IsNumeric() && o.IsNumeric() {
-		return v.AsFloat() < o.AsFloat()
+		if v.typ == TypeInt {
+			return intLessFloat(v.i, o.f)
+		}
+		if o.typ == TypeInt {
+			return floatLessInt(v.f, o.i)
+		}
+		return v.f < o.f
 	}
 	if v.typ != o.typ {
 		return v.typ < o.typ
@@ -145,12 +226,19 @@ func (v Value) Less(o Value) bool {
 	return false
 }
 
-// Key returns a string usable as a hash key for joins and grouping.
-// Numeric values with equal numeric value share a key.
+// Key returns a string usable as a hash key for joins and grouping:
+// Key equality coincides with Equal. An int that is exactly
+// representable as a float64 shares its key with the equal float
+// (cross-type numeric joins work for all |i| ≤ 2^53 and exact larger
+// ints); an unrepresentable int gets a FormatInt key of its own, so
+// distinct int64 keys above 2^53 no longer collide.
 func (v Value) Key() string {
 	switch v.typ {
 	case TypeInt:
-		return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		if floatRepresentable(v.i) {
+			return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		}
+		return "i" + strconv.FormatInt(v.i, 10)
 	case TypeFloat:
 		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
 	case TypeString:

@@ -276,7 +276,7 @@ func runE3(ctx context.Context, seed uint64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	xDSGD, dsgdStats, err := sgd.SolveDistributed(tri, b, opts)
+	xDSGD, dsgdStats, err := sgd.SolveDistributedCtx(ctx, tri, b, opts)
 	if err != nil {
 		return Result{}, err
 	}

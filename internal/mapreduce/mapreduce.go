@@ -5,6 +5,15 @@
 // compare algorithms "on MapReduce" (time alignment, DSGD spline
 // solving, §2.2) use the shuffle-byte counters of this package as the
 // scale-free proxy for cluster communication cost.
+//
+// Like the Hadoop substrate it models, the runtime is fault-tolerant at
+// task granularity: with a retry policy installed (Config or
+// parallel.WithRetryPolicy), a crashed map or reduce task is re-run
+// with exponential backoff instead of failing the job, and straggling
+// tasks are speculatively re-executed with first-result-wins commits.
+// Output is bit-identical to a failure-free run under any fault
+// schedule that lets every task eventually succeed — see tasks.go for
+// the argument.
 package mapreduce
 
 import (
@@ -14,6 +23,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"time"
 
 	"modeldata/internal/parallel"
 )
@@ -23,18 +33,9 @@ var ErrNoInput = errors.New("mapreduce: no input splits")
 
 // ErrWorkerPanic is returned when a mapper or reducer panics; the
 // panic value is attached. Like a real cluster framework, a task crash
-// fails the job rather than the process.
+// fails the job only after the retry budget (Config.MaxRetries or the
+// context retry policy; zero by default) is exhausted.
 var ErrWorkerPanic = errors.New("mapreduce: worker panicked")
-
-// guard converts a panic in user code into an error.
-func guard(stage string, f func() error) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%w: %s: %v", ErrWorkerPanic, stage, r)
-		}
-	}()
-	return f()
-}
 
 // Pair is a keyed intermediate or output record.
 type Pair struct {
@@ -48,7 +49,8 @@ type Mapper func(split any, emit func(Pair)) error
 // Reducer processes all values that share a key, emitting output pairs.
 type Reducer func(key string, values []any, emit func(Pair)) error
 
-// Config controls job parallelism and shuffle accounting.
+// Config controls job parallelism, shuffle accounting, and fault
+// tolerance.
 type Config struct {
 	// Mappers and Reducers bound worker parallelism; zero means
 	// GOMAXPROCS.
@@ -56,6 +58,40 @@ type Config struct {
 	// SizeOf estimates the serialized size of a shuffled value, for the
 	// ShuffleBytes statistic. If nil, DefaultSizeOf is used.
 	SizeOf func(v any) int
+	// MaxRetries is the per-task retry budget: a map or reduce task may
+	// fail this many times and still be re-run before the job fails.
+	// Together with Backoff and SpeculativeFactor it overrides any
+	// context retry policy (parallel.WithRetryPolicy) when set.
+	MaxRetries int
+	// Backoff is the pause before a task's first retry, doubling per
+	// subsequent retry; zero means parallel.DefaultBackoff.
+	Backoff time.Duration
+	// SpeculativeFactor enables straggler mitigation: a task running
+	// longer than SpeculativeFactor × the stage's median task time gets
+	// one backup attempt, first result wins. Zero disables.
+	SpeculativeFactor float64
+	// Injector, if non-nil, passes every task attempt through a fault
+	// injector (chaos testing); it overrides any context injector
+	// (parallel.WithFaultInjector).
+	Injector parallel.FaultInjector
+}
+
+// faultSetup resolves the effective retry policy and injector: Config
+// fields when any are set, else whatever the context carries.
+func (cfg Config) faultSetup(ctx context.Context) (parallel.RetryPolicy, parallel.FaultInjector) {
+	pol, _ := parallel.RetryPolicyFrom(ctx)
+	if cfg.MaxRetries > 0 || cfg.Backoff > 0 || cfg.SpeculativeFactor > 0 {
+		pol = parallel.RetryPolicy{
+			MaxRetries:        cfg.MaxRetries,
+			Backoff:           cfg.Backoff,
+			SpeculativeFactor: cfg.SpeculativeFactor,
+		}
+	}
+	inj := cfg.Injector
+	if inj == nil {
+		inj = parallel.InjectorFrom(ctx)
+	}
+	return pol, inj
 }
 
 // Stats reports what a job did.
@@ -65,11 +101,29 @@ type Stats struct {
 	ShuffleBytes int64 // estimated bytes moved through the shuffle
 	ReduceGroups int   // distinct keys reduced
 	Output       int   // output pairs emitted by reducers
+
+	// Fault-tolerance counters.
+	TaskAttempts        int64         // attempts launched across map and reduce tasks
+	Retries             int64         // failed attempts that were re-run
+	SpeculativeLaunches int64         // backup attempts launched against stragglers
+	SpeculativeWins     int64         // tasks committed by a backup attempt
+	BackoffTime         time.Duration // cumulative retry backoff
+}
+
+// addTaskStats folds one stage's scheduler counters into the job stats.
+func (s *Stats) addTaskStats(ts taskStats) {
+	s.TaskAttempts += ts.attempts
+	s.Retries += ts.retries
+	s.SpeculativeLaunches += ts.specLaunches
+	s.SpeculativeWins += ts.specWins
+	s.BackoffTime += ts.backoff
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("splits=%d mapOut=%d shuffle=%dB groups=%d out=%d",
-		s.InputSplits, s.MapOutput, s.ShuffleBytes, s.ReduceGroups, s.Output)
+	return fmt.Sprintf("splits=%d mapOut=%d shuffle=%dB groups=%d out=%d attempts=%d retries=%d spec=%d/%d backoff=%s",
+		s.InputSplits, s.MapOutput, s.ShuffleBytes, s.ReduceGroups, s.Output,
+		s.TaskAttempts, s.Retries, s.SpeculativeWins, s.SpeculativeLaunches,
+		s.BackoffTime.Round(time.Microsecond))
 }
 
 // DefaultSizeOf estimates value sizes for shuffle accounting: 8 bytes
@@ -105,12 +159,18 @@ func Run(cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 
 // RunCtx executes a MapReduce job over the input splits and returns the
 // reducer output sorted by key (ties preserve reducer emission order),
-// along with execution statistics. The first mapper or reducer error
-// aborts the job. Cancellation of ctx is honored between the map,
-// shuffle, and reduce stages and between tasks within a stage: a
-// canceled job stops scheduling work and returns ctx.Err() instead of
-// running to completion. Shuffle bytes are also credited to any
-// parallel.Stats collector carried by ctx.
+// along with execution statistics. A mapper or reducer failure (error
+// or panic) consumes one unit of the task's retry budget and the task
+// is re-run after exponential backoff; the job aborts when a task
+// exhausts its budget (immediately, with the default zero budget).
+// Tasks must be deterministic per split — any randomness must come from
+// per-split state reset at attempt start — for retried and speculative
+// attempts to commute with failure-free execution. Cancellation of ctx
+// is honored between the map, shuffle, and reduce stages and between
+// tasks within a stage: a canceled job stops scheduling work and
+// returns ctx.Err() instead of running to completion. Shuffle bytes and
+// fault-tolerance counters are also credited to any parallel.Stats
+// collector carried by ctx.
 func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) ([]Pair, Stats, error) {
 	var stats Stats
 	if len(splits) == 0 {
@@ -122,8 +182,11 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 		sizeOf = DefaultSizeOf
 	}
 
-	// Map phase: each task accumulates per-partition output locally, so
-	// no locks are needed in the emit hot path.
+	pol, inj := cfg.faultSetup(ctx)
+
+	// Map phase: each task attempt accumulates per-partition output
+	// locally, so no locks are needed in the emit hot path and a failed
+	// attempt's partial emissions are discarded wholesale.
 	nRed := workerCount(cfg.Reducers)
 	nMap := workerCount(cfg.Mappers)
 	type mapResult struct {
@@ -131,8 +194,7 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 		count int
 		bytes int64
 	}
-	results := make([]mapResult, len(splits))
-	err := parallel.For(ctx, len(splits), parallel.Options{Workers: nMap}, func(i int) error {
+	results, mapTS, err := runTasks(ctx, "map", len(splits), nMap, pol, inj, func(i int) (mapResult, error) {
 		res := mapResult{parts: make([][]Pair, nRed)}
 		emit := func(p Pair) {
 			h := fnv.New32a()
@@ -142,12 +204,12 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 			res.count++
 			res.bytes += int64(len(p.Key) + sizeOf(p.Value))
 		}
-		if err := guard("map", func() error { return m(splits[i], emit) }); err != nil {
-			return err
+		if err := m(splits[i], emit); err != nil {
+			return mapResult{}, err
 		}
-		results[i] = res
-		return nil
+		return res, nil
 	})
+	stats.addTaskStats(mapTS)
 	if err != nil {
 		return nil, stats, mapreduceErr("map", err)
 	}
@@ -174,24 +236,25 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 	parallel.StatsFrom(ctx).AddShuffleBytes(stats.ShuffleBytes)
 
 	// Reduce phase: partitions in parallel; keys sorted within each
-	// partition for determinism.
-	outParts := make([][]Pair, nRed)
-	err = parallel.For(ctx, nRed, parallel.Options{Workers: nRed}, func(p int) error {
+	// partition for determinism. A reduce task's output is buffered per
+	// attempt, so a mid-partition crash discards the partial output and
+	// the retry rebuilds it from the (immutable) shuffle groups.
+	outParts, redTS, err := runTasks(ctx, "reduce", nRed, nRed, pol, inj, func(p int) ([]Pair, error) {
 		keys := make([]string, 0, len(partitions[p]))
 		for k := range partitions[p] {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		var out []Pair
+		emit := func(kv Pair) { out = append(out, kv) }
 		for _, k := range keys {
-			emit := func(kv Pair) { out = append(out, kv) }
-			if err := guard("reduce", func() error { return r(k, partitions[p][k], emit) }); err != nil {
-				return err
+			if err := r(k, partitions[p][k], emit); err != nil {
+				return nil, err
 			}
 		}
-		outParts[p] = out
-		return nil
+		return out, nil
 	})
+	stats.addTaskStats(redTS)
 	if err != nil {
 		return nil, stats, mapreduceErr("reduce", err)
 	}
@@ -238,17 +301,15 @@ func MapOnlyCtx(ctx context.Context, cfg Config, splits []any, m Mapper) ([]Pair
 	}
 	stats.InputSplits = len(splits)
 	nMap := workerCount(cfg.Mappers)
-	results := make([][]Pair, len(splits))
-	err := parallel.For(ctx, len(splits), parallel.Options{Workers: nMap}, func(i int) error {
+	pol, inj := cfg.faultSetup(ctx)
+	results, mapTS, err := runTasks(ctx, "map", len(splits), nMap, pol, inj, func(i int) ([]Pair, error) {
 		var local []Pair
-		if err := guard("map", func() error {
-			return m(splits[i], func(p Pair) { local = append(local, p) })
-		}); err != nil {
-			return err
+		if err := m(splits[i], func(p Pair) { local = append(local, p) }); err != nil {
+			return nil, err
 		}
-		results[i] = local
-		return nil
+		return local, nil
 	})
+	stats.addTaskStats(mapTS)
 	if err != nil {
 		return nil, stats, mapreduceErr("map", err)
 	}

@@ -45,6 +45,15 @@ type Options struct {
 	// context default" (WorkersFrom: WithWorkers value, else
 	// GOMAXPROCS).
 	Workers int
+	// Retry overrides the context retry policy (WithRetryPolicy) for
+	// this loop. Nil inherits from the context.
+	Retry *RetryPolicy
+	// NoFaults opts this loop out of the fault-tolerance machinery
+	// entirely — no injection, no panic recovery, no retries — for
+	// loops whose iterations mutate shared state in place and therefore
+	// cannot be re-run (e.g. DSGD row updates). Such loops keep the
+	// pre-fault-tolerance semantics: a panic propagates and crashes.
+	NoFaults bool
 }
 
 // errBox carries the first error through an atomic.Value (which
@@ -58,6 +67,19 @@ type errBox struct{ err error }
 // iterations; a canceled run returns ctx.Err() without starting further
 // iterations. Progress and Stats hooks installed on ctx are serviced
 // after each completed iteration.
+//
+// When a retry policy (Options.Retry or WithRetryPolicy) or a fault
+// injector (WithFaultInjector) is present and Options.NoFaults is
+// unset, each iteration becomes a fault-tolerant task: a panic is
+// recovered into an error, and failed attempts are re-run serially on
+// the same worker with exponential backoff up to MaxRetries before
+// failing the loop. Retried iterations re-run fn(i) from scratch, so fn
+// must be re-runnable: it must fully overwrite slot i on success and
+// derive randomness from state reset at attempt start (ForStreams
+// arranges this automatically). Speculative execution never applies
+// here — slot writes are owned by one worker at a time — only in the
+// MapReduce runtime, whose framework-controlled commit makes backup
+// attempts race-free.
 func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -75,12 +97,27 @@ func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 	stats := StatsFrom(ctx)
 	progress := progressFrom(ctx)
 
+	// run executes one iteration, through the retry machinery when a
+	// policy or injector is installed.
+	run := func(ctx context.Context, i int) error { return fn(i) }
+	if !opts.NoFaults {
+		pol, havePol := RetryPolicyFrom(ctx)
+		if opts.Retry != nil {
+			pol, havePol = *opts.Retry, true
+		}
+		if inj := InjectorFrom(ctx); havePol || inj != nil {
+			run = func(ctx context.Context, i int) error {
+				return runTaskAttempts(ctx, "parallel", i, pol, inj, stats, func() error { return fn(i) })
+			}
+		}
+	}
+
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := run(ctx, i); err != nil {
 				return err
 			}
 			stats.AddIterations(1)
@@ -111,7 +148,7 @@ func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := run(loopCtx, i); err != nil {
 					firstErr.CompareAndSwap(nil, errBox{err})
 					cancel()
 					return
@@ -138,12 +175,21 @@ func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 // worker count, so a caller that continues drawing from parent after
 // the loop (e.g. for a resampling step) stays on the sequential
 // trajectory too.
+//
+// Each invocation of fn receives a fresh copy of iteration i's pristine
+// substream, so a retried iteration (see For) replays exactly the same
+// random sequence as a first-try success: results under any fault
+// injector that eventually lets every iteration succeed are
+// bit-identical to the failure-free run.
 func ForStreams(ctx context.Context, parent *rng.Stream, n int, opts Options, fn func(i int, r *rng.Stream) error) error {
 	if n <= 0 {
 		return nil
 	}
 	streams := parent.SplitN(n)
-	return For(ctx, n, opts, func(i int) error { return fn(i, streams[i]) })
+	return For(ctx, n, opts, func(i int) error {
+		sub := *streams[i] // pristine per-attempt copy: retries replay the substream
+		return fn(i, &sub)
+	})
 }
 
 type ctxKey int
@@ -152,6 +198,8 @@ const (
 	workersKey ctxKey = iota
 	statsKey
 	progressKey
+	retryKey
+	injectorKey
 )
 
 // WithWorkers returns a context whose parallel loops default to n
@@ -198,6 +246,18 @@ func WithProgress(ctx context.Context, fn func(done, total int)) context.Context
 func progressFrom(ctx context.Context) *progressHook {
 	h, _ := ctx.Value(progressKey).(*progressHook)
 	return h
+}
+
+// ProgressFrom returns a serialized reporting function bound to the
+// progress hook installed on ctx, or nil when none is installed. It
+// lets runtimes that schedule their own workers (the MapReduce task
+// scheduler) service the same hook as parallel loops.
+func ProgressFrom(ctx context.Context) func(done, total int) {
+	h := progressFrom(ctx)
+	if h == nil {
+		return nil
+	}
+	return h.report
 }
 
 // WithStats returns a context whose parallel loops (and the MapReduce

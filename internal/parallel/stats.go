@@ -14,6 +14,11 @@ type Stats struct {
 	start        time.Time
 	iterations   atomic.Int64
 	shuffleBytes atomic.Int64
+	taskAttempts atomic.Int64
+	retries      atomic.Int64
+	specLaunches atomic.Int64
+	specWins     atomic.Int64
+	backoffNanos atomic.Int64
 }
 
 // NewStats returns a Stats collector whose clock starts now.
@@ -34,6 +39,44 @@ func (s *Stats) AddShuffleBytes(n int64) {
 	}
 }
 
+// AddTaskAttempts records n task attempts launched (first tries,
+// retries, and speculative backups all count).
+func (s *Stats) AddTaskAttempts(n int64) {
+	if s != nil {
+		s.taskAttempts.Add(n)
+	}
+}
+
+// AddRetries records n failed task attempts that were re-run.
+func (s *Stats) AddRetries(n int64) {
+	if s != nil {
+		s.retries.Add(n)
+	}
+}
+
+// AddSpeculativeLaunches records n backup attempts launched against
+// straggling tasks.
+func (s *Stats) AddSpeculativeLaunches(n int64) {
+	if s != nil {
+		s.specLaunches.Add(n)
+	}
+}
+
+// AddSpeculativeWins records n tasks whose committed result came from a
+// speculative backup rather than the original attempt.
+func (s *Stats) AddSpeculativeWins(n int64) {
+	if s != nil {
+		s.specWins.Add(n)
+	}
+}
+
+// AddBackoff records time spent pausing between failed attempts.
+func (s *Stats) AddBackoff(d time.Duration) {
+	if s != nil {
+		s.backoffNanos.Add(int64(d))
+	}
+}
+
 // Iterations returns the iterations completed so far.
 func (s *Stats) Iterations() int64 {
 	if s == nil {
@@ -48,6 +91,46 @@ func (s *Stats) ShuffleBytes() int64 {
 		return 0
 	}
 	return s.shuffleBytes.Load()
+}
+
+// TaskAttempts returns the task attempts launched so far.
+func (s *Stats) TaskAttempts() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.taskAttempts.Load()
+}
+
+// Retries returns the failed attempts re-run so far.
+func (s *Stats) Retries() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.retries.Load()
+}
+
+// SpeculativeLaunches returns the backup attempts launched so far.
+func (s *Stats) SpeculativeLaunches() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.specLaunches.Load()
+}
+
+// SpeculativeWins returns the tasks won by a backup attempt so far.
+func (s *Stats) SpeculativeWins() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.specWins.Load()
+}
+
+// BackoffTime returns the cumulative retry backoff recorded so far.
+func (s *Stats) BackoffTime() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.backoffNanos.Load())
 }
 
 // Elapsed returns the wall-clock time since NewStats.
@@ -69,23 +152,36 @@ func (s *Stats) SamplesPerSec() float64 {
 
 // Snapshot is a point-in-time copy of the counters, safe to retain.
 type Snapshot struct {
-	Iterations    int64
-	ShuffleBytes  int64
-	Elapsed       time.Duration
-	SamplesPerSec float64
+	Iterations          int64
+	ShuffleBytes        int64
+	TaskAttempts        int64
+	Retries             int64
+	SpeculativeLaunches int64
+	SpeculativeWins     int64
+	BackoffTime         time.Duration
+	Elapsed             time.Duration
+	SamplesPerSec       float64
 }
 
 // Snapshot captures the current counter values.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		Iterations:    s.Iterations(),
-		ShuffleBytes:  s.ShuffleBytes(),
-		Elapsed:       s.Elapsed(),
-		SamplesPerSec: s.SamplesPerSec(),
+		Iterations:          s.Iterations(),
+		ShuffleBytes:        s.ShuffleBytes(),
+		TaskAttempts:        s.TaskAttempts(),
+		Retries:             s.Retries(),
+		SpeculativeLaunches: s.SpeculativeLaunches(),
+		SpeculativeWins:     s.SpeculativeWins(),
+		BackoffTime:         s.BackoffTime(),
+		Elapsed:             s.Elapsed(),
+		SamplesPerSec:       s.SamplesPerSec(),
 	}
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("iters=%d shuffle=%dB elapsed=%s rate=%.4g/s",
-		s.Iterations, s.ShuffleBytes, s.Elapsed.Round(time.Millisecond), s.SamplesPerSec)
+	return fmt.Sprintf("iters=%d shuffle=%dB attempts=%d retries=%d spec=%d/%d backoff=%s elapsed=%s rate=%.4g/s",
+		s.Iterations, s.ShuffleBytes, s.TaskAttempts, s.Retries,
+		s.SpeculativeWins, s.SpeculativeLaunches,
+		s.BackoffTime.Round(time.Microsecond),
+		s.Elapsed.Round(time.Millisecond), s.SamplesPerSec)
 }

@@ -13,12 +13,13 @@
 package sgd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"modeldata/internal/linalg"
+	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
 
@@ -201,18 +202,32 @@ func Solve(tri *linalg.Tridiagonal, b []float64, opts Options) ([]float64, Stats
 	return x, stats, nil
 }
 
-// SolveDistributed runs DSGD. Rows are stratified by index mod 3; rows
-// within a stratum touch pairwise-disjoint slices of x (row i updates
-// x[i−1..i+1], and stratum members are 3 apart), so each stratum's rows
-// are partitioned among Workers goroutines and updated in parallel.
-// Strata are visited in regenerative cycles: each cycle is a fresh
-// uniform permutation of the three strata, giving equal long-run time
-// per stratum, the condition under which [21] proves convergence.
+// SolveDistributed runs DSGD with no cancellation. See
+// SolveDistributedCtx.
+func SolveDistributed(tri *linalg.Tridiagonal, b []float64, opts Options) ([]float64, Stats, error) {
+	return SolveDistributedCtx(context.Background(), tri, b, opts)
+}
+
+// SolveDistributedCtx runs DSGD. Rows are stratified by index mod 3;
+// rows within a stratum touch pairwise-disjoint slices of x (row i
+// updates x[i−1..i+1], and stratum members are 3 apart), so each
+// stratum's rows are partitioned among Workers and the partitions run
+// as parallel tasks on the internal/parallel runtime (which credits
+// iteration counters to any stats collector carried by ctx). Strata are
+// visited in regenerative cycles: each cycle is a fresh uniform
+// permutation of the three strata, giving equal long-run time per
+// stratum, the condition under which [21] proves convergence.
+// Cancellation of ctx is honored between stratum passes.
+//
+// Partition tasks mutate x in place and are therefore NOT re-runnable:
+// they opt out of the runtime's retry machinery (parallel.Options.
+// NoFaults), exactly as a real DSGD epoch must restart from the last
+// iterate snapshot rather than re-run a half-applied sub-epoch.
 //
 // Shuffle accounting: on each stratum switch, only the boundary entries
 // between worker partitions move (2 values per worker), matching the
 // paper's "negligible" claim.
-func SolveDistributed(tri *linalg.Tridiagonal, b []float64, opts Options) ([]float64, Stats, error) {
+func SolveDistributedCtx(ctx context.Context, tri *linalg.Tridiagonal, b []float64, opts Options) ([]float64, Stats, error) {
 	opts = opts.withDefaults()
 	var stats Stats
 	if err := tri.Validate(); err != nil {
@@ -243,14 +258,20 @@ func SolveDistributed(tri *linalg.Tridiagonal, b []float64, opts Options) ([]flo
 			stats.StratumSwaps++
 			stats.ShuffleBytes += int64(8 * 2 * opts.Workers)
 			// Partition the stratum's rows among workers; disjoint x
-			// regions mean no synchronization is needed inside.
+			// regions mean no synchronization is needed inside. Seeds
+			// are drawn in partition order before the fan-out so the
+			// result is identical at any scheduling.
 			nw := opts.Workers
 			if nw > len(rows) {
 				nw = len(rows)
 			}
-			var wg sync.WaitGroup
 			chunk := (len(rows) + nw - 1) / nw
 			base := updates // step-size clock, fixed for this stratum pass
+			type part struct {
+				rows []int
+				seed uint64
+			}
+			parts := make([]part, 0, nw)
 			for w := 0; w < nw; w++ {
 				lo := w * chunk
 				hi := lo + chunk
@@ -260,18 +281,21 @@ func SolveDistributed(tri *linalg.Tridiagonal, b []float64, opts Options) ([]flo
 				if lo >= hi {
 					continue
 				}
-				wg.Add(1)
-				go func(part []int, seed uint64) {
-					defer wg.Done()
-					wr := rng.New(seed)
-					for k := 0; k < len(part); k++ {
-						i := part[wr.Intn(len(part))]
-						step := opts.Step0 * math.Pow(float64(base+k+2), -opts.Alpha)
-						applyRowUpdate(tri, b, x, i, step, opts.Kaczmarz)
-					}
-				}(rows[lo:hi], r.Uint64())
+				parts = append(parts, part{rows: rows[lo:hi], seed: r.Uint64()})
 			}
-			wg.Wait()
+			err := parallel.For(ctx, len(parts), parallel.Options{Workers: len(parts), NoFaults: true}, func(w int) error {
+				wr := rng.New(parts[w].seed)
+				pr := parts[w].rows
+				for k := 0; k < len(pr); k++ {
+					i := pr[wr.Intn(len(pr))]
+					step := opts.Step0 * math.Pow(float64(base+k+2), -opts.Alpha)
+					applyRowUpdate(tri, b, x, i, step, opts.Kaczmarz)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, stats, err
+			}
 			updates += len(rows)
 		}
 		stats.Epochs++

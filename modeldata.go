@@ -14,20 +14,31 @@ const DefaultSeed uint64 = 20140622
 
 // Stats reports what one Run did: iterations completed across every
 // parallel loop the experiment executed, estimated bytes moved through
-// MapReduce shuffles, wall-clock time, and the resulting throughput.
+// MapReduce shuffles, fault-tolerance activity (task attempts, retries,
+// speculative backups, cumulative backoff), wall-clock time, and the
+// resulting throughput. The fault-tolerance counters stay zero unless
+// WithRetries/WithSpeculation enable the machinery or a fault injector
+// is installed on the context.
 type Stats struct {
-	Iterations    int64
-	ShuffleBytes  int64
-	Elapsed       time.Duration
-	SamplesPerSec float64
+	Iterations          int64
+	ShuffleBytes        int64
+	TaskAttempts        int64
+	Retries             int64
+	SpeculativeLaunches int64
+	SpeculativeWins     int64
+	BackoffTime         time.Duration
+	Elapsed             time.Duration
+	SamplesPerSec       float64
 }
 
 // config collects the options applied to one Run.
 type config struct {
-	seed     uint64
-	workers  int
-	progress func(done, total int)
-	stats    *Stats
+	seed       uint64
+	workers    int
+	progress   func(done, total int)
+	stats      *Stats
+	maxRetries int
+	specFactor float64
 }
 
 // Option configures a Run call.
@@ -54,9 +65,29 @@ func WithProgress(fn func(done, total int)) Option {
 }
 
 // WithStats asks Run to fill *dst with per-run counters (iterations,
-// shuffle bytes, elapsed time, samples/sec) when it returns.
+// shuffle bytes, fault-tolerance activity, elapsed time, samples/sec)
+// when it returns.
 func WithStats(dst *Stats) Option {
 	return func(c *config) { c.stats = dst }
+}
+
+// WithRetries grants every task in the run (MapReduce map/reduce tasks,
+// parallel Monte Carlo iterations) a retry budget of n re-runs with
+// exponential backoff before a failure aborts the experiment. Results
+// are unchanged by retries: tasks replay their pre-split random
+// substreams, so a run that survives faults is bit-identical to a
+// failure-free run.
+func WithRetries(n int) Option {
+	return func(c *config) { c.maxRetries = n }
+}
+
+// WithSpeculation enables straggler mitigation in the MapReduce
+// runtime: a task running longer than factor × the stage's median task
+// time gets one speculative backup attempt, and the first result wins.
+// Speculation affects wall-clock time and the Stats counters only,
+// never the numbers produced.
+func WithSpeculation(factor float64) Option {
+	return func(c *config) { c.specFactor = factor }
 }
 
 // Run executes one experiment by ID. Cancellation of ctx aborts the
@@ -75,6 +106,12 @@ func Run(ctx context.Context, id string, opts ...Option) (ExperimentResult, erro
 	if cfg.progress != nil {
 		ctx = parallel.WithProgress(ctx, cfg.progress)
 	}
+	if cfg.maxRetries > 0 || cfg.specFactor > 0 {
+		ctx = parallel.WithRetryPolicy(ctx, parallel.RetryPolicy{
+			MaxRetries:        cfg.maxRetries,
+			SpeculativeFactor: cfg.specFactor,
+		})
+	}
 	var ps *parallel.Stats
 	if cfg.stats != nil {
 		ps = parallel.NewStats()
@@ -84,10 +121,15 @@ func Run(ctx context.Context, id string, opts ...Option) (ExperimentResult, erro
 	if cfg.stats != nil {
 		snap := ps.Snapshot()
 		*cfg.stats = Stats{
-			Iterations:    snap.Iterations,
-			ShuffleBytes:  snap.ShuffleBytes,
-			Elapsed:       snap.Elapsed,
-			SamplesPerSec: snap.SamplesPerSec,
+			Iterations:          snap.Iterations,
+			ShuffleBytes:        snap.ShuffleBytes,
+			TaskAttempts:        snap.TaskAttempts,
+			Retries:             snap.Retries,
+			SpeculativeLaunches: snap.SpeculativeLaunches,
+			SpeculativeWins:     snap.SpeculativeWins,
+			BackoffTime:         snap.BackoffTime,
+			Elapsed:             snap.Elapsed,
+			SamplesPerSec:       snap.SamplesPerSec,
 		}
 	}
 	return res, err
