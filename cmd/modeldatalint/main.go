@@ -1,0 +1,67 @@
+// Command modeldatalint statically enforces the repository's
+// determinism and numeric-safety invariants. It is a multichecker over
+// the analyzers in internal/lint/suite:
+//
+//	rngsource  no math/rand, crypto/rand, or time.Now() outside the allowlist
+//	maporder   no map-iteration order leaking into results
+//	floateq    no ==/!= on floats outside tolerance helpers
+//	ctxplumb   long-running entry points plumb context.Context
+//
+// Usage:
+//
+//	go run ./cmd/modeldatalint ./...
+//	go run ./cmd/modeldatalint -help
+//
+// It exits nonzero if any unsuppressed diagnostic remains; CI runs it
+// as a blocking job. Intentional violations are suppressed in place:
+//
+//	//lint:allow <rule> <one-line reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"modeldata/internal/lint"
+	"modeldata/internal/lint/suite"
+)
+
+func main() {
+	help := flag.Bool("help", false, "describe each analyzer and exit")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: modeldatalint [-help] [packages]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := suite.All()
+	if *help {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modeldatalint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "modeldatalint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "modeldatalint: %d unsuppressed diagnostic(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

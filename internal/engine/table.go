@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -254,12 +255,14 @@ func (db *Database) Drop(name string) {
 	delete(db.tables, strings.ToLower(name))
 }
 
-// Names returns the table names in the database (unordered).
+// Names returns the table names in the database in sorted order, so
+// catalog listings are stable run to run.
 func (db *Database) Names() []string {
 	out := make([]string, 0, len(db.tables))
 	for _, t := range db.tables {
 		out = append(out, t.Name)
 	}
+	sort.Strings(out)
 	return out
 }
 

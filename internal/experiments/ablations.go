@@ -5,6 +5,7 @@ import (
 
 	"fmt"
 	"math"
+	"sort"
 
 	"modeldata/internal/calibrate"
 	"modeldata/internal/engine"
@@ -48,6 +49,9 @@ func runA1(ctx context.Context, seed uint64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	_, pStats, err := sgd.Solve(tri, b, sgd.Options{Epochs: epochs, Kaczmarz: false, Step0: 0.02, Alpha: 0.51, Seed: seed})
 	if err != nil {
 		return Result{}, err
@@ -87,6 +91,9 @@ func runA2(ctx context.Context, seed uint64) (Result, error) {
 	crn := mkProblem(seed + 1)
 	var crnVals, freeVals []float64
 	for i := 0; i < 12; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		v, err := crn.J(theta)
 		if err != nil {
 			return Result{}, err
@@ -152,6 +159,9 @@ func runA3(ctx context.Context, seed uint64) (Result, error) {
 	}
 	var cyc, rnd []float64
 	for i := 0; i < reps; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		cyc = append(cyc, runOnce(false, parent.Split()))
 		rnd = append(rnd, runOnce(true, parent.Split()))
 	}
@@ -207,6 +217,9 @@ func runA4(ctx context.Context, seed uint64) (Result, error) {
 	}
 	var outputs []*engine.Table
 	for _, w := range []int{1, 2, 8} {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		out, err := mkStep(w).Apply(agents, seed)
 		if err != nil {
 			return Result{}, err
@@ -227,9 +240,14 @@ func runA4(ctx context.Context, seed uint64) (Result, error) {
 	for _, row := range agents.Rows {
 		sizes[int(row[1].AsFloat())]++
 	}
+	parts := make([]int, 0, len(sizes))
+	for p := range sizes {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts) // fold in fixed order: float sums round order-dependently
 	total, maxWork := 0.0, 0.0
-	for _, s := range sizes {
-		w := float64(s) * float64(s)
+	for _, p := range parts {
+		w := float64(sizes[p]) * float64(sizes[p])
 		total += w
 		if w > maxWork {
 			maxWork = w

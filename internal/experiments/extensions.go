@@ -47,6 +47,9 @@ func runE14(ctx context.Context, seed uint64) (Result, error) {
 	for i, p := range design {
 		y[i] = response(p)
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	gp, err := metamodel.FitGPMLE(design, y, nil, calibrate.NMOptions{MaxEvals: 600})
 	if err != nil {
 		return Result{}, err
@@ -131,6 +134,9 @@ func runE15(ctx context.Context, seed uint64) (Result, error) {
 		},
 	}
 	for _, tr := range triggers {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		d, err := damageAt(tr)
 		if err != nil {
 			return Result{}, err
@@ -191,6 +197,9 @@ func runE16(ctx context.Context, seed uint64) (Result, error) {
 	}
 	lh, err := doe.NearlyOrthogonalLH(2, 13, seed, 20000)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	skRes, err := sp.Minimize(lh.Points(0, 1), 15, 5)
@@ -268,6 +277,9 @@ func runE17(ctx context.Context, seed uint64) (Result, error) {
 		parent := rng.New(seed + uint64(alpha*1e6))
 		thetas := make([]float64, reps)
 		for i := range thetas {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
 			cache = cache[:0]
 			run, err := two.RunBudgeted(budget, alpha, parent.Uint64())
 			if err != nil {

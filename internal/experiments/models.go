@@ -121,6 +121,9 @@ func runE8(ctx context.Context, seed uint64) (Result, error) {
 	// orders of magnitude, which a GP fits poorly on the raw scale.
 	jVals := make([]float64, len(design))
 	for i, p := range design {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		j, err := problem.J(p)
 		if err != nil {
 			return Result{}, err
@@ -373,6 +376,9 @@ func runE10(ctx context.Context, seed uint64) (Result, error) {
 		yN = append(yN, 3+r.Normal(0, 0.4))
 		nv = append(nv, 0.16)
 	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	sk, err := metamodel.FitStochasticKriging(xs, yN, nv, []float64{2, 2}, 1)
 	if err != nil {
 		return Result{}, err
@@ -401,7 +407,7 @@ func runE10(ctx context.Context, seed uint64) (Result, error) {
 }
 
 // runE11 reproduces the §4.2 design-size ladder for seven factors.
-func runE11(_ context.Context, _ uint64) (Result, error) {
+func runE11(_ context.Context, _ uint64) (Result, error) { //lint:allow ctxplumb tabulates fixed design sizes, nothing to cancel
 	full, err := doe.FullFactorial(7)
 	if err != nil {
 		return Result{}, err
@@ -436,6 +442,9 @@ func runE12(ctx context.Context, seed uint64) (Result, error) {
 	sim := doe.LinearScreeningModel(beta, 0.2)
 	sb, err := doe.SequentialBifurcation(n, sim, doe.SBOptions{Threshold: 1.5, Seed: seed})
 	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	ofat, err := doe.OneFactorAtATime(n, sim, doe.SBOptions{Threshold: 1.5, Seed: seed})
@@ -490,6 +499,9 @@ func runE13(ctx context.Context, seed uint64) (Result, error) {
 	planA := fullOut.Restrict(func(id int, v float64) bool { return keep(id) })
 	regridA := *a.RegridTouched
 	// Plan B: push the restriction below the regrid.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	b, err := mkField()
 	if err != nil {
 		return Result{}, err

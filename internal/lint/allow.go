@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowDirective is the comment prefix that suppresses a diagnostic.
+const allowDirective = "//lint:allow"
+
+// allowSet maps filename -> line -> set of allowed rule names.
+type allowSet map[string]map[int]map[string]bool
+
+func (s allowSet) add(filename string, line int, rule string) {
+	byLine := s[filename]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s[filename] = byLine
+	}
+	rules := byLine[line]
+	if rules == nil {
+		rules = make(map[string]bool)
+		byLine[line] = rules
+	}
+	rules[rule] = true
+}
+
+func (s allowSet) allowed(filename string, line int, rule string) bool {
+	return s[filename][line][rule]
+}
+
+// collectAllows scans every comment in the unit for //lint:allow
+// directives. A directive suppresses the named rule on its own line and
+// on the line that follows it, so both trailing and leading placement
+// work:
+//
+//	sum += v //lint:allow floateq exact accumulation is intended
+//
+//	//lint:allow maporder commutative fold, order cannot leak
+//	for k := range m { ... }
+//
+// A directive missing its rule or its reason is returned as a
+// "lintdirective" finding so sloppy suppressions fail CI like any other
+// diagnostic.
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Finding) {
+	allows := make(allowSet)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Position: pos,
+						Rule:     "lintdirective",
+						Message:  "malformed //lint:allow: need a rule name and a one-line reason",
+					})
+					continue
+				}
+				rule := fields[0]
+				allows.add(pos.Filename, pos.Line, rule)
+				allows.add(pos.Filename, pos.Line+1, rule)
+			}
+		}
+	}
+	return allows, bad
+}

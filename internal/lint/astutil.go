@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleePkgFunc resolves call's callee to a package-level function and
+// returns the defining package path and function name, or "", "" when
+// the callee is anything else (a method, a local function value, a
+// builtin, an unresolved identifier).
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if _, ok := info.Uses[ident].(*types.PkgName); !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// IsFloat reports whether t is a floating-point type, including
+// untyped float constants. Complex types are excluded: the repo does
+// not use them, and equality on them is a different discussion.
+func IsFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// TypeOf returns the type of e recorded during checking, or nil.
+func TypeOf(info *types.Info, e ast.Expr) types.Type {
+	return info.Types[e].Type
+}
+
+// IsContextContext reports whether t is context.Context.
+func IsContextContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ObjectOf resolves e to the object it names when e is a plain
+// identifier, or nil.
+func ObjectOf(info *types.Info, e ast.Expr) types.Object {
+	ident, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[ident]
+}
+
+// UsesObject reports whether any identifier under n resolves to obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ident, ok := n.(*ast.Ident); ok && info.Uses[ident] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,138 @@
+// Package ctxplumb enforces context plumbing through long-running
+// entry points.
+//
+// Every cancellable computation in this repo — parallel.ForStreams
+// loops, mapreduce stages, Monte Carlo drivers — takes a
+// context.Context so callers can bound it (DESIGN.md §4). Two failure
+// modes silently break that chain and are flagged here:
+//
+//  1. An exported function manufactures its own context with
+//     context.Background() or context.TODO() instead of accepting one,
+//     cutting its callees off from the caller's cancellation. The one
+//     sanctioned shape is the deprecation wrapper whose entire body is
+//     a single return delegating to the context-aware variant
+//     (e.g. Run -> RunCtx), which exists precisely to keep old call
+//     sites compiling.
+//
+//  2. A function accepts a context.Context and then drops it: the
+//     parameter is named _, is unnamed, or is never mentioned in the
+//     body. Interface-satisfying methods that legitimately ignore
+//     their context carry a //lint:allow ctxplumb with the reason.
+package ctxplumb
+
+import (
+	"go/ast"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the ctxplumb rule.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxplumb",
+	Doc: "flags exported entry points that manufacture context.Background()/TODO() (outside " +
+		"single-return deprecation wrappers) and functions that drop the context they receive",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Tests sit at the root of their call tree, exactly where
+		// creating the root context belongs, so the manufactured-
+		// context rule does not apply in _test.go files. Dropping a
+		// received context is still a bug there.
+		inTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDroppedContext(pass, fn)
+			if fn.Name.IsExported() && !inTest {
+				checkManufacturedContext(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDroppedContext reports context.Context parameters the function
+// can never honor.
+func checkDroppedContext(pass *lint.Pass, fn *ast.FuncDecl) {
+	for _, field := range fn.Type.Params.List {
+		if !lint.IsContextContext(lint.TypeOf(pass.TypesInfo, field.Type)) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(),
+				"%s takes an unnamed context.Context it cannot use; name it and plumb it through",
+				fn.Name.Name)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(),
+					"%s discards its context.Context parameter; plumb it into the work it starts",
+					fn.Name.Name)
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !lint.UsesObject(pass.TypesInfo, fn.Body, obj) {
+				pass.Reportf(name.Pos(),
+					"%s receives ctx but never uses it: cancellation stops here; "+
+						"pass it to callees or select on ctx.Done()", fn.Name.Name)
+			}
+		}
+	}
+}
+
+// checkManufacturedContext reports context.Background()/TODO() calls in
+// exported functions, except the single-return deprecation-wrapper
+// idiom.
+func checkManufacturedContext(pass *lint.Pass, fn *ast.FuncDecl) {
+	wrapper := isDelegationWrapper(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := lint.CalleePkgFunc(pass.TypesInfo, call)
+		if pkg != "context" {
+			return true
+		}
+		// The wrapper escape covers Background only: context.TODO
+		// means "not yet plumbed", which is exactly the state this
+		// analyzer exists to eliminate.
+		if name == "Background" && wrapper {
+			return true
+		}
+		if name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"exported %s creates context.%s instead of accepting a context from its caller; "+
+					"add a ctx parameter (keep a single-return wrapper for the old signature)",
+				fn.Name.Name, name)
+		}
+		return true
+	})
+}
+
+// isDelegationWrapper reports whether fn's body is exactly one
+// statement delegating to another call — the documented deprecation
+// shape `func Run(...) { return RunCtx(context.Background(), ...) }`,
+// including the statement-only form for void functions.
+func isDelegationWrapper(fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) != 1 {
+		return false
+	}
+	switch stmt := fn.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		_, isCall := stmt.X.(*ast.CallExpr)
+		return isCall
+	}
+	return false
+}

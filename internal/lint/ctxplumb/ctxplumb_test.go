@@ -1,0 +1,12 @@
+package ctxplumb_test
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/ctxplumb"
+	"modeldata/internal/lint/linttest"
+)
+
+func TestCtxplumb(t *testing.T) {
+	linttest.Run(t, ctxplumb.Analyzer, "a")
+}

@@ -1,0 +1,74 @@
+// Package a exercises the ctxplumb analyzer: manufactured contexts,
+// dropped context parameters, the deprecation-wrapper escape, and
+// directive suppression.
+package a
+
+import "context"
+
+func work(ctx context.Context, n int) error { return ctx.Err() }
+
+// BadManufactured hides real work behind a context it invented, so the
+// caller can never cancel it.
+func BadManufactured(n int) error {
+	ctx := context.Background() // want `creates context.Background instead of accepting a context`
+	for i := 0; i < n; i++ {
+		if err := work(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadTODO is the same bug spelled differently.
+func BadTODO(n int) error {
+	return process(context.TODO(), n) // want `creates context.TODO instead of accepting a context`
+}
+
+func process(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := work(ctx, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCtx is the context-aware entry point.
+func RunCtx(ctx context.Context, n int) error { return process(ctx, n) }
+
+// Run is the sanctioned single-return deprecation wrapper: it may
+// manufacture a Background context because its whole body is the
+// delegation.
+func Run(n int) error { return RunCtx(context.Background(), n) }
+
+// BadDropped receives ctx and then ignores it.
+func BadDropped(ctx context.Context, n int) int { // want `receives ctx but never uses it`
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// BadDiscarded declares it away outright.
+func BadDiscarded(_ context.Context, n int) int { // want `discards its context.Context parameter`
+	return n * 2
+}
+
+// GoodPlumbed threads the context into the loop.
+func GoodPlumbed(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return nil
+}
+
+// AllowedIgnore satisfies an interface whose other implementations
+// block; the directive records why ignoring ctx is sound here.
+func AllowedIgnore(ctx context.Context) error { //lint:allow ctxplumb in-memory fake completes instantly, nothing to cancel
+	return nil
+}

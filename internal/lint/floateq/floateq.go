@@ -1,0 +1,82 @@
+// Package floateq flags == and != between floating-point operands, and
+// switch statements over a float tag.
+//
+// Exact float equality is almost always a latent bug in a numerical
+// codebase: two mathematically equal quantities computed along
+// different paths differ in their low bits, and a comparison that holds
+// at one worker count fails at another once reduction order changes.
+// Comparisons should go through a tolerance helper
+// (stats.ApproxEqual) or, where bit-exactness is genuinely the
+// contract (golden-value determinism tests, the engine's exact numeric
+// Value semantics), carry a //lint:allow floateq with the reason.
+//
+// Two idioms pass without annotation: comparisons where both operands
+// are compile-time constants, and the self-comparison NaN test
+// (x != x). _test.go files are exempt wholesale — bit-exact golden
+// assertions are precisely what the repo's determinism tests do.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the floateq rule.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on floating-point operands and switches over float tags; " +
+		"use stats.ApproxEqual or an explicit //lint:allow for intentional exact comparison",
+	DefaultAllow: []string{
+		// value.go's whole purpose is exact cross-type numeric
+		// comparison with documented semantics (PR 2).
+		"internal/engine/value.go",
+	},
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		// Bit-exact golden assertions (got != want) are the point of
+		// this repo's determinism tests, so _test.go files are out of
+		// scope; production code is where exact comparison hides bugs.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, e)
+			case *ast.SwitchStmt:
+				if e.Tag != nil && lint.IsFloat(lint.TypeOf(pass.TypesInfo, e.Tag)) {
+					pass.Reportf(e.Pos(),
+						"switch over a floating-point value compares with ==; "+
+							"rewrite as explicit tolerance comparisons")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBinary(pass *lint.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	xt, yt := pass.TypesInfo.Types[e.X], pass.TypesInfo.Types[e.Y]
+	if !lint.IsFloat(xt.Type) && !lint.IsFloat(yt.Type) {
+		return
+	}
+	if xt.Value != nil && yt.Value != nil {
+		return // constant folding, decided at compile time
+	}
+	if xo := lint.ObjectOf(pass.TypesInfo, e.X); xo != nil && xo == lint.ObjectOf(pass.TypesInfo, e.Y) {
+		return // x != x, the NaN test
+	}
+	pass.Reportf(e.Pos(),
+		"floating-point %s comparison is order- and rounding-sensitive; "+
+			"use stats.ApproxEqual or annotate the intent with //lint:allow floateq", e.Op)
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/floateq"
+	"modeldata/internal/lint/linttest"
+)
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, floateq.Analyzer, "a")
+}

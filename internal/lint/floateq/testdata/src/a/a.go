@@ -1,0 +1,48 @@
+// Package a exercises the floateq analyzer: exact float comparisons,
+// the idioms that pass unannotated, and directive suppression.
+package a
+
+import "math"
+
+const eps = 1e-9
+
+// BadEq compares computed floats exactly.
+func BadEq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+// BadNeqMixed flags even when only one side is float-typed.
+func BadNeqMixed(x float64) bool {
+	return x != 0 // want `floating-point != comparison`
+}
+
+// BadSwitch compares its float tag with == per case.
+func BadSwitch(x float64) string {
+	switch x { // want `switch over a floating-point value`
+	case 0:
+		return "zero"
+	case 1:
+		return "one"
+	}
+	return "other"
+}
+
+// GoodTolerance is how comparisons should be written.
+func GoodTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+// GoodNaNTest is the canonical self-comparison NaN check.
+func GoodNaNTest(x float64) bool {
+	return x != x
+}
+
+// GoodConstFold compares two compile-time constants.
+func GoodConstFold() bool {
+	return eps == 1e-9
+}
+
+// AllowedExact documents an intentional bit-exact comparison.
+func AllowedExact(got, golden float64) bool {
+	return got == golden //lint:allow floateq determinism test demands bit-identical output
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked unit: a package's non-test and
+// in-package test files together, or an external _test package on its
+// own.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir           string
+	ImportPath    string
+	GoFiles       []string
+	CgoFiles      []string
+	TestGoFiles   []string
+	XTestGoFiles  []string
+	Standard      bool
+	Incomplete    bool
+	DepOnly       bool
+	ForTest       string
+	Match         []string
+	IgnoredGoFile []string
+}
+
+// Load enumerates the packages matching patterns with `go list` run in
+// dir, then parses and type-checks each from source. Dependencies —
+// including the standard library — are type-checked from source on
+// demand by the importer, so no compiled export data and no external
+// module is required. Type errors in dependencies are tolerated
+// (analysis proceeds on partial information); the repository itself is
+// kept compiling by the build job, so its own units check cleanly.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.CgoFiles) > 0 {
+			continue
+		}
+		units := [][]string{append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)}
+		paths := []string{lp.ImportPath}
+		if len(lp.XTestGoFiles) > 0 {
+			units = append(units, lp.XTestGoFiles)
+			paths = append(paths, lp.ImportPath+"_test")
+		}
+		for i, names := range units {
+			if len(names) == 0 {
+				continue
+			}
+			files, err := parseFiles(fset, lp.Dir, names)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", paths[i], err)
+			}
+			pkgs = append(pkgs, check(fset, imp, paths[i], files))
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks every .go file directly inside dir as
+// a single package unit. It is how linttest loads testdata fixture
+// packages, which live outside the module's package graph.
+func LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	imp := importer.ForCompiler(fset, "source", nil)
+	return check(fset, imp, importPath, files), nil
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one unit, tolerating errors: go/types keeps
+// recording partial type information after an error, which is enough
+// for every analyzer in this suite, and missing information only makes
+// analyzers quieter, never wrong.
+func check(fset *token.FileSet, imp types.Importer, importPath string, files []*ast.File) *Package {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    imp,
+		FakeImportC: true,
+		Error:       func(error) {},
+	}
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+}
+
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []listedPackage
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}

@@ -1,0 +1,205 @@
+// Package maporder flags `for ... range` loops over maps whose bodies
+// leak the map's nondeterministic iteration order into results.
+//
+// Go randomizes map iteration order on purpose, so any loop that
+// appends rows to a slice, sends on a channel, prints, or accumulates
+// floating-point sums while ranging over a map produces output that
+// differs run to run — the exact bug class that bit-identical
+// reproducibility (determinism_test.go, chaos_test.go) exists to
+// prevent. The sanctioned pattern is collect-then-sort: range over the
+// map to gather keys (or rows), sort the slice, then emit in sorted
+// order. A loop whose collected slice is passed to a sort.* or slices.*
+// call later in the same function is therefore not flagged.
+//
+// Integer accumulation (counts, sums of ints) is commutative and exact,
+// so it is allowed; float accumulation is flagged because float
+// addition rounds differently under reordering.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the maporder rule.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "flags map-range loops that emit ordered output (append without later sort, channel " +
+		"send, printing, float accumulation); collect keys, sort, then emit",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFuncBody(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncBody examines the map-range loops that belong directly to
+// this function body. Loops inside nested function literals are checked
+// when the walk reaches that literal, so that the collect-then-sort
+// escape looks for the sort call in the right scope.
+func checkFuncBody(pass *lint.Pass, body *ast.BlockStmt) {
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := lint.TypeOf(pass.TypesInfo, rng.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRange(pass, body, rng)
+	})
+}
+
+// checkMapRange reports order-dependent effects in the body of one
+// range-over-map loop.
+func checkMapRange(pass *lint.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(stmt.Pos(),
+				"channel send while ranging over a map: receive order is nondeterministic; "+
+					"collect into a slice, sort, then send")
+		case *ast.AssignStmt:
+			checkAssign(pass, funcBody, rng, stmt)
+		case *ast.CallExpr:
+			if pkg, name := lint.CalleePkgFunc(pass.TypesInfo, stmt); pkg == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				pass.Reportf(stmt.Pos(),
+					"fmt.%s while ranging over a map prints in nondeterministic order; "+
+						"collect keys, sort, then print", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *lint.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, stmt *ast.AssignStmt) {
+	// Compound float accumulation: sum += v reorders float rounding.
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(stmt.Lhs) == 1 && lint.IsFloat(lint.TypeOf(pass.TypesInfo, stmt.Lhs[0])) {
+			pass.Reportf(stmt.Pos(),
+				"floating-point accumulation across map iteration: summation order changes "+
+					"rounding; collect values, sort keys, then fold")
+		}
+		return
+	}
+	// s = append(s, ...) growing something declared outside the loop.
+	for i, rhs := range stmt.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		ident, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || ident.Name != "append" {
+			continue
+		}
+		if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+				continue // a user-defined append, not the builtin
+			}
+		}
+		if i >= len(stmt.Lhs) {
+			continue
+		}
+		target := ast.Unparen(stmt.Lhs[i])
+		obj := lint.ObjectOf(pass.TypesInfo, target)
+		if obj == nil {
+			// Appending through a selector (out.Rows = append(...))
+			// or index expression: emission into a result the loop
+			// does not own, with no sort we can verify.
+			pass.Reportf(stmt.Pos(),
+				"appends to %s while ranging over a map: row order is nondeterministic; "+
+					"collect keys, sort, then emit", exprString(target))
+			continue
+		}
+		if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+			continue // loop-local scratch, order cannot escape
+		}
+		if sortedAfter(pass, funcBody, rng, obj) {
+			continue // the collect-then-sort idiom
+		}
+		pass.Reportf(stmt.Pos(),
+			"appends to %s while ranging over a map with no later sort of %s in this function; "+
+				"sort before using the slice", obj.Name(), obj.Name())
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.*
+// call positioned after the range loop in the same function body —
+// the signature of the collect-then-sort idiom.
+func sortedAfter(pass *lint.Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		pkg, _ := lint.CalleePkgFunc(pass.TypesInfo, call)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lint.UsesObject(pass.TypesInfo, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// inspectSkippingFuncLits walks n but does not descend into nested
+// function literals.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "the result"
+}

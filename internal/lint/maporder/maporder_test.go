@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/linttest"
+	"modeldata/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, maporder.Analyzer, "a")
+}

@@ -1,0 +1,92 @@
+// Package a exercises the maporder analyzer: order-dependent effects
+// inside range-over-map loops, the collect-then-sort escape, and
+// commutative folds that stay legal.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadAppend leaks map order straight into the returned slice.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to keys while ranging over a map with no later sort`
+	}
+	return keys
+}
+
+// GoodCollectThenSort is the sanctioned pattern: gather, sort, emit.
+func GoodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type table struct{ rows []int }
+
+// BadEmit appends through a selector the loop does not own, so no sort
+// can be verified.
+func BadEmit(m map[string]int, out *table) {
+	for _, v := range m {
+		out.rows = append(out.rows, v) // want `appends to out.rows while ranging over a map`
+	}
+}
+
+// BadSend delivers values in nondeterministic order.
+func BadSend(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send while ranging over a map`
+	}
+}
+
+// BadFloatFold reorders float rounding run to run.
+func BadFloatFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation across map iteration`
+	}
+	return sum
+}
+
+// GoodIntFold is commutative and exact, so it is allowed.
+func GoodIntFold(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// BadPrint emits text in map order.
+func BadPrint(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println while ranging over a map`
+	}
+}
+
+// GoodScratch appends only to a slice scoped inside the loop body.
+func GoodScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v*2)
+		}
+		total += len(local)
+	}
+	return total
+}
+
+// AllowedFold documents an intentional order-dependent fold.
+func AllowedFold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow maporder estimator tolerates any summation order by design
+	}
+	return sum
+}

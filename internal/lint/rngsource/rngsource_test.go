@@ -1,0 +1,12 @@
+package rngsource_test
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/linttest"
+	"modeldata/internal/lint/rngsource"
+)
+
+func TestRngsource(t *testing.T) {
+	linttest.Run(t, rngsource.Analyzer, "a")
+}

@@ -1,0 +1,32 @@
+// Package a exercises the rngsource analyzer: forbidden randomness
+// imports, wall-clock reads, and their sanctioned suppressions.
+package a
+
+import (
+	"math/rand" // want `import of math/rand breaks seed-reproducibility`
+	"time"
+)
+
+// BadSeed seeds from the wall clock, the classic reproducibility bug.
+func BadSeed() int64 {
+	return time.Now().UnixNano() // want `time.Now\(\) is a nondeterministic input`
+}
+
+// BadGlobal draws from the banned global source.
+func BadGlobal() float64 {
+	return rand.Float64()
+}
+
+// TimedRun measures wall time only; the directive documents that and
+// suppresses the diagnostic.
+func TimedRun(work func()) time.Duration {
+	start := time.Now() //lint:allow rngsource measurement-only, never flows into results
+	work()
+	return time.Since(start)
+}
+
+// AlsoAllowedAbove shows the leading-directive placement.
+func AlsoAllowedAbove() time.Time {
+	//lint:allow rngsource measurement-only timestamp for log lines
+	return time.Now()
+}

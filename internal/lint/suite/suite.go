@@ -1,0 +1,22 @@
+// Package suite registers the full modeldatalint analyzer set so the
+// command-line multichecker and the repo-wide cleanliness test
+// (lint_clean_test.go) run exactly the same rules.
+package suite
+
+import (
+	"modeldata/internal/lint"
+	"modeldata/internal/lint/ctxplumb"
+	"modeldata/internal/lint/floateq"
+	"modeldata/internal/lint/maporder"
+	"modeldata/internal/lint/rngsource"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		ctxplumb.Analyzer,
+		floateq.Analyzer,
+		maporder.Analyzer,
+		rngsource.Analyzer,
+	}
+}

@@ -2,6 +2,7 @@ package mcdb
 
 import (
 	"fmt"
+	"sort"
 
 	"modeldata/internal/stats"
 )
@@ -79,9 +80,14 @@ func ThresholdProbability(samples []float64, threshold float64) (float64, error)
 // per-iteration query results; the returned slice lists groups whose
 // estimated P(result > threshold) is at least minProb.
 func ThresholdQuery(perGroup map[string][]float64, threshold, minProb float64) ([]string, error) {
+	groups := make([]string, 0, len(perGroup))
+	for g := range perGroup {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
 	var out []string
-	for g, samples := range perGroup {
-		p, err := ThresholdProbability(samples, threshold)
+	for _, g := range groups {
+		p, err := ThresholdProbability(perGroup[g], threshold)
 		if err != nil {
 			return nil, fmt.Errorf("group %q: %w", g, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"modeldata/internal/engine"
@@ -220,9 +221,14 @@ func TestABSStepFlockingContracts(t *testing.T) {
 			c := int(r[1].AsFloat())
 			cells[c] = append(cells[c], r[1].AsFloat())
 		}
+		ids := make([]int, 0, len(cells))
+		for c := range cells {
+			ids = append(ids, c)
+		}
+		sort.Ints(ids) // fixed fold order keeps the bound bit-stable
 		total := 0.0
-		for _, xs := range cells {
-			total += stats.Variance(xs)
+		for _, c := range ids {
+			total += stats.Variance(cells[c])
 		}
 		return total
 	}

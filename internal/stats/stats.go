@@ -18,6 +18,22 @@ import (
 // ErrEmpty is returned when a statistic is requested of an empty sample.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// ApproxEqual reports whether a and b agree to within the absolute
+// tolerance tol. It is the sanctioned replacement for float == / != on
+// computed values (the floateq analyzer points here): exact comparison
+// of accumulated floats depends on evaluation order, while a tolerance
+// states the intended precision explicitly. NaN compares equal to
+// nothing, matching IEEE semantics.
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// ApproxZero reports whether x is within tol of zero — the common
+// special case of ApproxEqual for residuals and differences.
+func ApproxZero(x, tol float64) bool {
+	return math.Abs(x) <= tol
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -71,7 +87,7 @@ func Covariance(xs, ys []float64) float64 {
 // when either sample is constant.
 func Correlation(xs, ys []float64) float64 {
 	sx, sy := StdDev(xs), StdDev(ys)
-	if sx == 0 || sy == 0 {
+	if sx == 0 || sy == 0 { //lint:allow floateq exactly constant samples have no correlation; guard before dividing
 		return 0
 	}
 	return Covariance(xs, ys) / (sx * sy)

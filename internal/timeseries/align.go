@@ -163,9 +163,14 @@ func ParallelInterpolateCtx(ctx context.Context, sp *Spline, targetTicks []float
 		}
 		w.targets = append(w.targets, t)
 	}
+	segs := make([]int, 0, len(wins))
+	for j := range wins {
+		segs = append(segs, j)
+	}
+	sort.Ints(segs)
 	splits := make([]any, 0, len(wins))
-	for _, w := range wins {
-		splits = append(splits, w)
+	for _, j := range segs {
+		splits = append(splits, wins[j])
 	}
 	if len(splits) == 0 {
 		return &Series{Name: s.Name}, mapreduce.Stats{}, nil

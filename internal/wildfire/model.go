@@ -53,16 +53,16 @@ type SensorAwareConfig struct {
 
 // withDefaults fills zero fields.
 func (c SensorAwareConfig) withDefaults(sm Sensors) SensorAwareConfig {
-	if c.HotThreshold == 0 {
+	if c.HotThreshold == 0 { //lint:allow floateq zero value is the unset sentinel for config defaults
 		c.HotThreshold = sm.Ambient + 3*sm.Noise
 	}
-	if c.CoolThreshold == 0 {
+	if c.CoolThreshold == 0 { //lint:allow floateq zero value is the unset sentinel for config defaults
 		c.CoolThreshold = sm.Ambient + sm.Noise
 	}
-	if c.AdjustProb == 0 {
+	if c.AdjustProb == 0 { //lint:allow floateq zero value is the unset sentinel for config defaults
 		c.AdjustProb = 0.5
 	}
-	if c.ModelConfidence == 0 {
+	if c.ModelConfidence == 0 { //lint:allow floateq zero value is the unset sentinel for config defaults
 		c.ModelConfidence = 0.5
 	}
 	if c.M == 0 {

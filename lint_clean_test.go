@@ -1,0 +1,38 @@
+package modeldata_test
+
+// The repository's own determinism and numeric-safety lint suite, run
+// over the whole module as a test. This is the programmatic twin of
+// `go run ./cmd/modeldatalint ./...`: any unsuppressed diagnostic from
+// rngsource, maporder, floateq, or ctxplumb fails the build. New code
+// either satisfies the invariants or carries an explicit
+// `//lint:allow <rule> <reason>` justification reviewers can see.
+
+import (
+	"testing"
+
+	"modeldata/internal/lint"
+	"modeldata/internal/lint/suite"
+)
+
+func TestRepositoryLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lint sweep type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := lint.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	findings, err := lint.RunAnalyzers(pkgs, suite.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: [%s] %s", f.Position, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d unsuppressed diagnostics; fix the code or add `//lint:allow <rule> <reason>` where the exact behavior is intentional", len(findings))
+	}
+}
