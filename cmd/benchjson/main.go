@@ -1,0 +1,112 @@
+// Command benchjson runs the engine operator micro-benchmarks (row vs
+// columnar, via internal/enginebench) plus representative E-experiment
+// end-to-end runs, and records ns/op, bytes/op, and allocs/op as JSON —
+// the repository's perf trajectory file (BENCH_4.json). A non-blocking
+// CI job runs the same workloads once as a smoke check.
+//
+// Timing comes from testing.Benchmark, so numbers are directly
+// comparable with `go test -bench -benchmem ./internal/engine/`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"modeldata/internal/enginebench"
+	"modeldata/internal/experiments"
+)
+
+// measurement is one recorded benchmark.
+type measurement struct {
+	Name        string  `json:"name"`
+	Op          string  `json:"op,omitempty"`
+	Rows        int     `json:"rows,omitempty"`
+	Variant     string  `json:"variant,omitempty"` // "row" or "col" for engine workloads
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// speedup pairs the row and columnar timings of one workload.
+type speedup struct {
+	Op          string  `json:"op"`
+	Rows        int     `json:"rows"`
+	Speedup     float64 `json:"speedup"`      // rowNs / colNs
+	AllocsRatio float64 `json:"allocs_ratio"` // rowAllocs / colAllocs
+}
+
+type report struct {
+	Benchmarks []measurement `json:"benchmarks"`
+	Speedups   []speedup     `json:"speedups"`
+}
+
+func measure(name, op string, rows int, variant string, fn func()) measurement {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return measurement{
+		Name:        name,
+		Op:          op,
+		Rows:        rows,
+		Variant:     variant,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_4.json", "output path for the JSON report")
+	seed := flag.Uint64("seed", 1, "seed for the E-experiment runs")
+	skipExperiments := flag.Bool("engine-only", false, "skip the E-experiment end-to-end benchmarks")
+	flag.Parse()
+
+	var rep report
+	for _, w := range enginebench.Workloads() {
+		mr := measure("BenchmarkEngine"+w.Op+"/rows="+fmt.Sprint(w.Rows)+"/row", w.Op, w.Rows, "row", w.Row)
+		mc := measure("BenchmarkEngine"+w.Op+"/rows="+fmt.Sprint(w.Rows)+"/col", w.Op, w.Rows, "col", w.Col)
+		rep.Benchmarks = append(rep.Benchmarks, mr, mc)
+		sp := speedup{Op: w.Op, Rows: w.Rows, Speedup: mr.NsPerOp / mc.NsPerOp}
+		if mc.AllocsPerOp > 0 {
+			sp.AllocsRatio = float64(mr.AllocsPerOp) / float64(mc.AllocsPerOp)
+		}
+		rep.Speedups = append(rep.Speedups, sp)
+		fmt.Fprintf(os.Stderr, "%-9s rows=%-7d %10.0f ns/op (row) %10.0f ns/op (col)  %.1fx\n",
+			w.Op, w.Rows, mr.NsPerOp, mc.NsPerOp, sp.Speedup)
+	}
+
+	if !*skipExperiments {
+		for _, id := range []string{"E1", "E7"} {
+			id := id
+			m := measure("BenchmarkExperiment"+id, "", 0, "", func() {
+				if _, err := experiments.Run(context.Background(), id, *seed); err != nil {
+					fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", id, err)
+					os.Exit(1)
+				}
+			})
+			rep.Benchmarks = append(rep.Benchmarks, m)
+			fmt.Fprintf(os.Stderr, "%-9s %27.0f ns/op\n", id, m.NsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

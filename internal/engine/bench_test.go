@@ -1,0 +1,41 @@
+package engine_test
+
+// Operator micro-benchmarks, row vs columnar, over the shared
+// enginebench workloads (external test package: enginebench imports
+// engine). Run with:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem ./internal/engine/
+//
+// cmd/benchjson records the same workloads into BENCH_4.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"modeldata/internal/enginebench"
+)
+
+func benchOp(b *testing.B, op string) {
+	for _, w := range enginebench.Workloads() {
+		if w.Op != op {
+			continue
+		}
+		b.Run(fmt.Sprintf("rows=%d/row", w.Rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Row()
+			}
+		})
+		b.Run(fmt.Sprintf("rows=%d/col", w.Rows), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.Col()
+			}
+		})
+	}
+}
+
+func BenchmarkEngineSelect(b *testing.B)   { benchOp(b, "Select") }
+func BenchmarkEngineEquiJoin(b *testing.B) { benchOp(b, "EquiJoin") }
+func BenchmarkEngineGroupBy(b *testing.B)  { benchOp(b, "GroupBy") }
+func BenchmarkEngineDistinct(b *testing.B) { benchOp(b, "Distinct") }

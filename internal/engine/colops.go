@@ -1,0 +1,735 @@
+package engine
+
+// Vectorized relational operators over ColumnBlocks. Every operator
+// here has a row-based counterpart in ops.go and must produce a
+// byte-identical table (same rows, same order, same Value payloads)
+// when its output is materialized — golden_test.go enforces this on
+// randomized inputs. Determinism rules match the row path: group-by
+// and distinct emit in first-appearance order, joins emit in probe
+// order with build-side insertion order within a key, and sorts are
+// stable.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// --- selections ---
+
+// emptySel is the canonical empty selection. Operator outputs must
+// never carry a nil sel (nil means identity), so an empty result gets
+// this shared zero-length vector instead.
+var emptySel = []int32{}
+
+// withSel returns a shallow copy of b whose logical rows are the given
+// absolute (physical) selection.
+func (b *ColumnBlock) withSel(sel []int32) *ColumnBlock {
+	if sel == nil {
+		sel = emptySel
+	}
+	return &ColumnBlock{Name: b.Name, Schema: b.Schema.Clone(), nrows: b.nrows, sel: sel, cols: b.cols}
+}
+
+// whereFunc keeps logical rows for which pred holds. pred receives the
+// logical row index and reads columns through the block.
+func (b *ColumnBlock) whereFunc(pred func(i int) bool) *ColumnBlock {
+	n := b.Len()
+	var sel []int32
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			sel = append(sel, int32(b.phys(i)))
+		}
+	}
+	return b.withSel(sel)
+}
+
+// WhereEq keeps rows whose column equals v, with typed fast paths over
+// the column vector; cross-type numeric comparisons fall back to
+// Value.Equal and keep its exact semantics.
+func (b *ColumnBlock) WhereEq(col string, v Value) (*ColumnBlock, error) {
+	j, err := b.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	var sel []int32
+	switch {
+	case b.Schema[j].Type == TypeInt && v.typ == TypeInt:
+		ints := b.cols[j].ints
+		for i := 0; i < n; i++ {
+			if p := b.phys(i); ints[p] == v.i {
+				sel = append(sel, int32(p))
+			}
+		}
+	case b.Schema[j].Type == TypeString && v.typ == TypeString:
+		strs := b.cols[j].strs
+		for i := 0; i < n; i++ {
+			if p := b.phys(i); strs[p] == v.s {
+				sel = append(sel, int32(p))
+			}
+		}
+	case b.Schema[j].Type == TypeBool && v.typ == TypeBool:
+		bools := b.cols[j].bools
+		for i := 0; i < n; i++ {
+			if p := b.phys(i); bools[p] == v.b {
+				sel = append(sel, int32(p))
+			}
+		}
+	default:
+		for i := 0; i < n; i++ {
+			p := b.phys(i)
+			if b.valuePhys(p, j).Equal(v) {
+				sel = append(sel, int32(p))
+			}
+		}
+	}
+	return b.withSel(sel), nil
+}
+
+// WhereFloat keeps rows for which pred holds on the numeric column
+// widened to float64; rows of non-numeric columns never qualify,
+// matching the row path.
+func (b *ColumnBlock) WhereFloat(col string, pred func(float64) bool) (*ColumnBlock, error) {
+	j, err := b.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	var sel []int32
+	switch b.Schema[j].Type {
+	case TypeFloat:
+		fs := b.cols[j].floats
+		for i := 0; i < n; i++ {
+			if p := b.phys(i); pred(fs[p]) {
+				sel = append(sel, int32(p))
+			}
+		}
+	case TypeInt:
+		ints := b.cols[j].ints
+		for i := 0; i < n; i++ {
+			if p := b.phys(i); pred(float64(ints[p])) {
+				sel = append(sel, int32(p))
+			}
+		}
+	}
+	return b.withSel(sel), nil
+}
+
+// WhereString keeps rows for which pred holds on the string column.
+func (b *ColumnBlock) WhereString(col string, pred func(string) bool) (*ColumnBlock, error) {
+	j, err := b.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	var sel []int32
+	if b.Schema[j].Type == TypeString {
+		strs := b.cols[j].strs
+		for i := 0; i < n; i++ {
+			if p := b.phys(i); pred(strs[p]) {
+				sel = append(sel, int32(p))
+			}
+		}
+	}
+	return b.withSel(sel), nil
+}
+
+// --- shape operators ---
+
+// Project returns a block with only the named columns, in order. The
+// column vectors and selection are shared, not copied.
+func (b *ColumnBlock) Project(cols ...string) (*ColumnBlock, error) {
+	idx := make([]int, len(cols))
+	schema := make(Schema, len(cols))
+	for i, c := range cols {
+		j, err := b.ColIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+		schema[i] = b.Schema[j]
+	}
+	nc := make([]colvec, len(idx))
+	for i, j := range idx {
+		nc[i] = b.cols[j]
+	}
+	return &ColumnBlock{Name: b.Name, Schema: schema, nrows: b.nrows, sel: b.sel, cols: nc}, nil
+}
+
+// Rename returns a shallow copy with column old renamed to new.
+func (b *ColumnBlock) Rename(oldName, newName string) (*ColumnBlock, error) {
+	j, err := b.ColIndex(oldName)
+	if err != nil {
+		return nil, err
+	}
+	nb := *b
+	nb.Schema = b.Schema.Clone()
+	nb.Schema[j].Name = newName
+	return &nb, nil
+}
+
+// Limit returns at most n logical rows.
+func (b *ColumnBlock) Limit(n int) *ColumnBlock {
+	if n < 0 {
+		n = 0
+	}
+	if n >= b.Len() {
+		nb := *b
+		return &nb
+	}
+	if b.sel != nil {
+		return b.withSel(b.sel[:n])
+	}
+	nb := *b
+	nb.nrows = n
+	return &nb
+}
+
+// --- key codes ---
+
+// colKeyKind partitions column types into key spaces: values of
+// different kinds never share a key (Value.Key tags them differently).
+func colKeyKind(t Type) int {
+	switch t {
+	case TypeInt, TypeFloat:
+		return 0
+	case TypeString:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// keyCodes fills codes[i] with the uint64 key code of logical row i of
+// column j. Codes are pre-encoded join/group keys: equal codes iff
+// equal Value.Key strings, within one key kind. For int columns
+// containing an int64 not exactly representable as float64 the uint64
+// space cannot stay collision-free against float bit patterns, so it
+// reports ok=false and callers fall back to binary byte keys.
+func (b *ColumnBlock) keyCodes(j int, codes []uint64) (ok bool) {
+	n := b.Len()
+	switch b.Schema[j].Type {
+	case TypeInt:
+		ints := b.cols[j].ints
+		for i := 0; i < n; i++ {
+			bits, tag := intKeyBits(ints[b.phys(i)])
+			if tag == keyTagBig {
+				return false
+			}
+			codes[i] = bits
+		}
+	case TypeFloat:
+		fs := b.cols[j].floats
+		for i := 0; i < n; i++ {
+			codes[i] = numKeyBits(fs[b.phys(i)])
+		}
+	case TypeBool:
+		bools := b.cols[j].bools
+		for i := 0; i < n; i++ {
+			if bools[b.phys(i)] {
+				codes[i] = 1
+			} else {
+				codes[i] = 0
+			}
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// appendKeyAt appends the binary key of logical row i, column j.
+func (b *ColumnBlock) appendKeyAt(dst []byte, i, j int) []byte {
+	p := b.phys(i)
+	switch b.Schema[j].Type {
+	case TypeInt:
+		bits, tag := intKeyBits(b.cols[j].ints[p])
+		return appendTagged64(dst, tag, bits)
+	case TypeFloat:
+		return appendTagged64(dst, keyTagNum, numKeyBits(b.cols[j].floats[p]))
+	case TypeString:
+		return appendStringKey(dst, b.cols[j].strs[p])
+	case TypeBool:
+		return appendBoolKey(dst, b.cols[j].bools[p])
+	}
+	return append(dst, '?')
+}
+
+// --- hash equi-join ---
+
+func prefixSchemaNamed(name string, s Schema) Schema {
+	out := make(Schema, len(s))
+	for i, c := range s {
+		out[i] = Column{Name: name + "." + c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// gather materializes the logical rows named by physical indexes idx
+// out of cv into a fresh vector.
+func gather(cv colvec, typ Type, idx []int32) colvec {
+	var out colvec
+	switch typ {
+	case TypeInt:
+		out.ints = make([]int64, len(idx))
+		for i, p := range idx {
+			out.ints[i] = cv.ints[p]
+		}
+	case TypeFloat:
+		out.floats = make([]float64, len(idx))
+		for i, p := range idx {
+			out.floats[i] = cv.floats[p]
+		}
+	case TypeString:
+		out.strs = make([]string, len(idx))
+		for i, p := range idx {
+			out.strs[i] = cv.strs[p]
+		}
+	case TypeBool:
+		out.bools = make([]bool, len(idx))
+		for i, p := range idx {
+			out.bools[i] = cv.bools[p]
+		}
+	}
+	return out
+}
+
+// EquiJoin computes the hash equi-join of b and r on leftCol =
+// rightCol. The hash table is built on the smaller input (ties build on
+// the right, matching the row path so emission order is identical) from
+// pre-encoded uint64 key codes; no per-row key strings are constructed.
+// Output columns are prefixed with the block names.
+func (b *ColumnBlock) EquiJoin(r *ColumnBlock, leftCol, rightCol string, sc *Scratch) (*ColumnBlock, error) {
+	sc = sc.orNew()
+	l := b
+	li, err := l.ColIndex(leftCol)
+	if err != nil {
+		return nil, fmt.Errorf("join left: %w", err)
+	}
+	ri, err := r.ColIndex(rightCol)
+	if err != nil {
+		return nil, fmt.Errorf("join right: %w", err)
+	}
+	// Build on the smaller side, exactly as the row path chooses it.
+	build, probe := r, l
+	bi, pi := ri, li
+	swapped := false
+	if l.Len() < r.Len() {
+		build, probe = l, r
+		bi, pi = li, ri
+		swapped = true
+	}
+
+	lidx, ridx := sc.idxBuf(0), sc.idxBuf(1)
+	emit := func(pPhys, bPhys int32) {
+		if swapped {
+			lidx = append(lidx, bPhys)
+			ridx = append(ridx, pPhys)
+		} else {
+			lidx = append(lidx, pPhys)
+			ridx = append(ridx, bPhys)
+		}
+	}
+
+	if colKeyKind(l.Schema[li].Type) == colKeyKind(r.Schema[ri].Type) {
+		switch {
+		case l.Schema[li].Type == TypeString: // both string
+			ht := make(map[string][]int32, build.Len())
+			bstrs := build.cols[bi].strs
+			for i, n := 0, build.Len(); i < n; i++ {
+				p := int32(build.phys(i))
+				ht[bstrs[p]] = append(ht[bstrs[p]], p)
+			}
+			pstrs := probe.cols[pi].strs
+			for i, n := 0, probe.Len(); i < n; i++ {
+				p := int32(probe.phys(i))
+				for _, bp := range ht[pstrs[p]] {
+					emit(p, bp)
+				}
+			}
+		default: // numeric or bool: uint64 key codes
+			bcodes := sc.codesBuf(build.Len(), 0)
+			pcodes := sc.codesBuf(probe.Len(), 1)
+			if build.keyCodes(bi, bcodes) && probe.keyCodes(pi, pcodes) {
+				ht := make(map[uint64][]int32, len(bcodes))
+				for i, c := range bcodes {
+					ht[c] = append(ht[c], int32(build.phys(i)))
+				}
+				for i, c := range pcodes {
+					p := int32(probe.phys(i))
+					for _, bp := range ht[c] {
+						emit(p, bp)
+					}
+				}
+			} else {
+				// An unrepresentable int64 key appeared: uint64 codes
+				// cannot stay collision-free, use binary byte keys.
+				ht := make(map[string][]int32, build.Len())
+				buf := sc.keyBuf()
+				for i, n := 0, build.Len(); i < n; i++ {
+					buf = build.appendKeyAt(buf[:0], i, bi)
+					ht[string(buf)] = append(ht[string(buf)], int32(build.phys(i)))
+				}
+				for i, n := 0, probe.Len(); i < n; i++ {
+					buf = probe.appendKeyAt(buf[:0], i, pi)
+					p := int32(probe.phys(i))
+					for _, bp := range ht[string(buf)] {
+						emit(p, bp)
+					}
+				}
+				sc.putKey(buf)
+			}
+		}
+	}
+	// Mismatched key kinds (e.g. string vs numeric) never join; the
+	// output is empty but keeps the joined schema.
+
+	out := &ColumnBlock{
+		Name:   l.Name + "_" + r.Name,
+		Schema: append(prefixSchemaNamed(l.Name, l.Schema), prefixSchemaNamed(r.Name, r.Schema)...),
+		nrows:  len(lidx),
+		cols:   make([]colvec, 0, len(l.Schema)+len(r.Schema)),
+	}
+	for j := range l.Schema {
+		out.cols = append(out.cols, gather(l.cols[j], l.Schema[j].Type, lidx))
+	}
+	for j := range r.Schema {
+		out.cols = append(out.cols, gather(r.cols[j], r.Schema[j].Type, ridx))
+	}
+	sc.putIdx(0, lidx)
+	sc.putIdx(1, ridx)
+	return out, nil
+}
+
+// --- group-by ---
+
+// colAggState is the per-(group, aggregate) accumulator. Min/max track
+// physical row positions so emission can reconstruct the exact first
+// extreme Value (payload bits included) without boxing during the scan.
+type colAggState struct {
+	sum        float64
+	minP, maxP int32
+	seen       bool
+}
+
+// groupIDs assigns a dense group id to every logical row, in
+// first-appearance order, keyed by the composite key columns. It
+// returns one id per row plus the physical row of each group's first
+// appearance.
+func (b *ColumnBlock) groupIDs(keyIdx []int, sc *Scratch) (gids []int32, firstP []int32) {
+	n := b.Len()
+	gids = make([]int32, n)
+	if len(keyIdx) == 1 {
+		j := keyIdx[0]
+		switch b.Schema[j].Type {
+		case TypeString:
+			strs := b.cols[j].strs
+			m := make(map[string]int32)
+			for i := 0; i < n; i++ {
+				p := b.phys(i)
+				g, ok := m[strs[p]]
+				if !ok {
+					g = int32(len(firstP))
+					m[strs[p]] = g
+					firstP = append(firstP, int32(p))
+				}
+				gids[i] = g
+			}
+			return gids, firstP
+		case TypeInt, TypeFloat, TypeBool:
+			codes := sc.codesBuf(n, 0)
+			if b.keyCodes(j, codes) {
+				m := make(map[uint64]int32)
+				for i, c := range codes {
+					g, ok := m[c]
+					if !ok {
+						g = int32(len(firstP))
+						m[c] = g
+						firstP = append(firstP, int32(b.phys(i)))
+					}
+					gids[i] = g
+				}
+				return gids, firstP
+			}
+		}
+	}
+	// Composite (or big-int single) keys: binary byte encoding.
+	m := make(map[string]int32)
+	buf := sc.keyBuf()
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, j := range keyIdx {
+			buf = b.appendKeyAt(buf, i, j)
+		}
+		g, ok := m[string(buf)]
+		if !ok {
+			g = int32(len(firstP))
+			m[string(buf)] = g
+			firstP = append(firstP, int32(b.phys(i)))
+		}
+		gids[i] = g
+	}
+	sc.putKey(buf)
+	return gids, firstP
+}
+
+// GroupBy groups the block by the given key columns and computes the
+// requested aggregates per group in one pass over the column vectors,
+// emitting groups in first-appearance order (the same deterministic
+// order as the row path). With no key columns a single global group is
+// produced, even over empty input. The output is a row table: group-by
+// results are small, and the row form keeps the zero-Value semantics of
+// empty global MIN/MAX groups representable.
+func (b *ColumnBlock) GroupBy(keys []string, aggs []Aggregate, sc *Scratch) (*Table, error) {
+	sc = sc.orNew()
+	keyIdx := make([]int, len(keys))
+	for i, k := range keys {
+		j, err := b.ColIndex(k)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx[i] = j
+	}
+	aggIdx := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Fn == AggCount {
+			aggIdx[i] = -1
+			continue
+		}
+		j, err := b.ColIndex(a.Col)
+		if err != nil {
+			return nil, err
+		}
+		aggIdx[i] = j
+	}
+
+	n := b.Len()
+	var gids, firstP []int32
+	if len(keyIdx) == 0 {
+		gids = make([]int32, n)
+		if n > 0 {
+			firstP = []int32{int32(b.phys(0))}
+		}
+	} else {
+		gids, firstP = b.groupIDs(keyIdx, sc)
+	}
+	nGroups := len(firstP)
+	synthesized := false
+	if len(keys) == 0 && nGroups == 0 {
+		// SQL semantics: a global aggregate over empty input yields one
+		// group (COUNT(*) = 0, MIN/MAX the zero Value).
+		nGroups = 1
+		synthesized = true
+	}
+
+	// Group sizes, shared by COUNT and AVG across all aggregates.
+	counts := make([]int64, nGroups)
+	for _, g := range gids {
+		counts[g]++
+	}
+
+	// One accumulation pass per aggregate, column-at-a-time. Per-group
+	// sums accumulate in row order, so float results are bit-identical
+	// to the row path's row-at-a-time accumulation.
+	states := make([][]colAggState, len(aggs))
+	for ai, a := range aggs {
+		if a.Fn == AggCount {
+			continue
+		}
+		sts := make([]colAggState, nGroups)
+		j := aggIdx[ai]
+		cv := b.cols[j]
+		switch b.Schema[j].Type {
+		case TypeInt:
+			for i := 0; i < n; i++ {
+				p, st := int32(b.phys(i)), &sts[gids[i]]
+				v := cv.ints[p]
+				st.sum += float64(v)
+				if !st.seen || v < cv.ints[st.minP] {
+					st.minP = p
+				}
+				if !st.seen || cv.ints[st.maxP] < v {
+					st.maxP = p
+				}
+				st.seen = true
+			}
+		case TypeFloat:
+			for i := 0; i < n; i++ {
+				p, st := int32(b.phys(i)), &sts[gids[i]]
+				v := cv.floats[p]
+				st.sum += v
+				if !st.seen || v < cv.floats[st.minP] {
+					st.minP = p
+				}
+				if !st.seen || cv.floats[st.maxP] < v {
+					st.maxP = p
+				}
+				st.seen = true
+			}
+		case TypeString:
+			for i := 0; i < n; i++ {
+				p, st := int32(b.phys(i)), &sts[gids[i]]
+				v := cv.strs[p]
+				if !st.seen || v < cv.strs[st.minP] {
+					st.minP = p
+				}
+				if !st.seen || cv.strs[st.maxP] < v {
+					st.maxP = p
+				}
+				st.seen = true
+			}
+		case TypeBool:
+			for i := 0; i < n; i++ {
+				p, st := int32(b.phys(i)), &sts[gids[i]]
+				v := cv.bools[p]
+				if !st.seen || (!v && cv.bools[st.minP]) {
+					st.minP = p
+				}
+				if !st.seen || (!cv.bools[st.maxP] && v) {
+					st.maxP = p
+				}
+				st.seen = true
+			}
+		}
+		states[ai] = sts
+	}
+
+	// Output schema: keys then aggregates, identical to the row path.
+	schema := make(Schema, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		schema = append(schema, Column{Name: k, Type: b.Schema[keyIdx[i]].Type})
+	}
+	for i, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Fn.String() + "_" + a.Col
+		}
+		typ := TypeFloat
+		if a.Fn == AggCount {
+			typ = TypeInt
+		} else if a.Fn == AggMin || a.Fn == AggMax {
+			typ = b.Schema[aggIdx[i]].Type
+		}
+		schema = append(schema, Column{Name: name, Type: typ})
+	}
+	out, err := NewTable(b.Name+"_group", schema)
+	if err != nil {
+		return nil, err
+	}
+	for g := 0; g < nGroups; g++ {
+		row := make(Row, 0, len(schema))
+		if !synthesized {
+			for _, j := range keyIdx {
+				row = append(row, b.valuePhys(int(firstP[g]), j))
+			}
+		}
+		for ai, a := range aggs {
+			switch a.Fn {
+			case AggCount:
+				row = append(row, Int(counts[g]))
+			case AggSum:
+				row = append(row, Float(sumOf(states[ai], g)))
+			case AggAvg:
+				if counts[g] == 0 {
+					row = append(row, Float(0))
+				} else {
+					row = append(row, Float(sumOf(states[ai], g)/float64(counts[g])))
+				}
+			case AggMin:
+				row = append(row, b.extremeValue(states[ai], g, aggIdx[ai], true))
+			case AggMax:
+				row = append(row, b.extremeValue(states[ai], g, aggIdx[ai], false))
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func sumOf(sts []colAggState, g int) float64 {
+	if sts == nil {
+		return 0
+	}
+	return sts[g].sum
+}
+
+// extremeValue reconstructs a group's MIN or MAX Value from its tracked
+// physical row; an unseen state (empty global group) yields the zero
+// Value, matching the row path's zero aggState.
+func (b *ColumnBlock) extremeValue(sts []colAggState, g, j int, min bool) Value {
+	if sts == nil || !sts[g].seen {
+		return Value{}
+	}
+	p := sts[g].maxP
+	if min {
+		p = sts[g].minP
+	}
+	return b.valuePhys(int(p), j)
+}
+
+// --- distinct / order by ---
+
+// Distinct removes duplicate rows, preserving first-appearance order.
+// The result is a new selection over the shared column vectors; nothing
+// is materialized.
+func (b *ColumnBlock) Distinct(sc *Scratch) *ColumnBlock {
+	sc = sc.orNew()
+	n := b.Len()
+	var sel []int32
+	allIdx := make([]int, len(b.Schema))
+	for j := range allIdx {
+		allIdx[j] = j
+	}
+	if len(b.Schema) == 1 {
+		// Single-column fast paths share the group-id machinery.
+		_, firstP := b.groupIDs(allIdx, sc)
+		return b.withSel(firstP)
+	}
+	seen := make(map[string]bool, n)
+	buf := sc.keyBuf()
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for j := range b.Schema {
+			buf = b.appendKeyAt(buf, i, j)
+		}
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
+			sel = append(sel, int32(b.phys(i)))
+		}
+	}
+	sc.putKey(buf)
+	return b.withSel(sel)
+}
+
+// OrderBy stably sorts the block by the named column. Only the
+// selection vector is permuted; column vectors are shared.
+func (b *ColumnBlock) OrderBy(col string, desc bool) (*ColumnBlock, error) {
+	j, err := b.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	sel := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sel[i] = int32(b.phys(i))
+	}
+	var less func(a, bb int32) bool
+	cv := b.cols[j]
+	switch b.Schema[j].Type {
+	case TypeInt:
+		less = func(a, bb int32) bool { return cv.ints[a] < cv.ints[bb] }
+	case TypeFloat:
+		less = func(a, bb int32) bool { return cv.floats[a] < cv.floats[bb] }
+	case TypeString:
+		less = func(a, bb int32) bool { return cv.strs[a] < cv.strs[bb] }
+	case TypeBool:
+		less = func(a, bb int32) bool { return !cv.bools[a] && cv.bools[bb] }
+	}
+	sort.SliceStable(sel, func(x, y int) bool {
+		if desc {
+			return less(sel[y], sel[x])
+		}
+		return less(sel[x], sel[y])
+	})
+	return b.withSel(sel), nil
+}

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 )
 
@@ -89,16 +88,18 @@ func EquiJoin(l, r *Table, leftCol, rightCol string) (*Table, error) {
 		swapped = true
 	}
 	ht := make(map[string][]Row, len(build.Rows))
+	var keyBuf []byte // reused binary key buffer; interned only on new keys
 	for _, row := range build.Rows {
-		k := row[bi].Key()
-		ht[k] = append(ht[k], row)
+		keyBuf = row[bi].AppendKey(keyBuf[:0])
+		ht[string(keyBuf)] = append(ht[string(keyBuf)], row)
 	}
 	out := &Table{
 		Name:   l.Name + "_" + r.Name,
 		Schema: append(prefixSchema(l), prefixSchema(r)...),
 	}
 	for _, prow := range probe.Rows {
-		for _, brow := range ht[prow[pi].Key()] {
+		keyBuf = prow[pi].AppendKey(keyBuf[:0])
+		for _, brow := range ht[string(keyBuf)] {
 			lrow, rrow := prow, brow
 			if swapped {
 				lrow, rrow = brow, prow
@@ -261,20 +262,17 @@ func GroupBy(t *Table, keys []string, aggs []Aggregate) (*Table, error) {
 	}
 	groups := make(map[string]*group)
 	order := []string{} // deterministic order of first appearance
+	var keyBuf []byte   // reused binary key buffer; interned once per group
 	for _, r := range t.Rows {
-		var kb strings.Builder
-		for _, j := range keyIdx {
-			kb.WriteString(r[j].Key())
-			kb.WriteByte('\x00')
-		}
-		k := kb.String()
-		g, ok := groups[k]
+		keyBuf = appendRowKey(keyBuf[:0], r, keyIdx)
+		g, ok := groups[string(keyBuf)]
 		if !ok {
 			kv := make(Row, len(keyIdx))
 			for i, j := range keyIdx {
 				kv[i] = r[j]
 			}
 			g = &group{keyVals: kv, states: make([]aggState, len(aggs))}
+			k := string(keyBuf)
 			groups[k] = g
 			order = append(order, k)
 		}
@@ -367,15 +365,14 @@ func Union(a, b *Table) (*Table, error) {
 func Distinct(t *Table) *Table {
 	seen := make(map[string]bool, len(t.Rows))
 	out := &Table{Name: t.Name, Schema: t.Schema.Clone()}
+	var keyBuf []byte // reused binary key buffer; interned once per distinct row
 	for _, r := range t.Rows {
-		var kb strings.Builder
+		keyBuf = keyBuf[:0]
 		for _, v := range r {
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x00')
+			keyBuf = v.AppendKey(keyBuf)
 		}
-		k := kb.String()
-		if !seen[k] {
-			seen[k] = true
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
 			out.Rows = append(out.Rows, r)
 		}
 	}

@@ -13,19 +13,31 @@ import (
 //		Run()
 //
 // Every builder method returns a new Query and leaves its receiver
-// unchanged (tables are immutable-by-construction, so the copy is one
-// word), which makes saved prefixes branchable:
+// unchanged, which makes saved prefixes branchable:
 //
 //	base := engine.From(people).WhereFloat("age", adult)
 //	ids := base.Select("pid")     // does not affect base
 //	n, _ := base.Count()          // still the un-projected prefix
+//
+// Execution is columnar: the first vectorizable operation decodes the
+// table into a ColumnBlock (see column.go) and subsequent operations
+// run over column vectors, sharing the scratch buffers of the chain;
+// Run materializes rows again. Tables whose values cannot be decoded
+// into uniform columns fall back to the row operators — both paths
+// produce byte-identical results (golden_test.go), so the choice is
+// invisible. Because a chain reuses one Scratch, branches of a single
+// chain must not be advanced concurrently; build separate chains with
+// From for concurrent query execution.
 type Query struct {
-	t   *Table
-	err error
+	t     *Table       // row form; nil when b carries the state
+	b     *ColumnBlock // columnar form; nil when t carries the state
+	sc    *Scratch     // shared per-chain operator scratch
+	noCol bool         // latched: table failed columnar decode, stay on rows
+	err   error
 }
 
 // From starts a query over t.
-func From(t *Table) *Query { return &Query{t: t} }
+func From(t *Table) *Query { return &Query{t: t, sc: NewScratch()} }
 
 // branch returns a copy of q for a builder method to advance, so the
 // receiver stays reusable as a shared prefix.
@@ -34,12 +46,62 @@ func (q *Query) branch() *Query {
 	return &c
 }
 
+// table returns the row form of the current state, materializing the
+// block if needed.
+func (q *Query) table() *Table {
+	if q.t != nil {
+		return q.t
+	}
+	return q.b.ToTable()
+}
+
+// block returns the columnar form of the current state, decoding the
+// table on first use, or nil when the data cannot be decoded (the
+// caller then uses the row path). Decode failure is latched so a chain
+// of operations on an undecodable table converts at most once.
+func (q *Query) block() *ColumnBlock {
+	if q.b != nil {
+		return q.b
+	}
+	if q.noCol || q.t == nil {
+		return nil
+	}
+	b, err := FromTable(q.t)
+	if err != nil {
+		q.noCol = true
+		return nil
+	}
+	q.b = b
+	return b
+}
+
+// advanceBlock moves the query to a new columnar state.
+func (q *Query) advanceBlock(b *ColumnBlock) *Query {
+	nq := q.branch()
+	nq.t, nq.b = nil, b
+	return nq
+}
+
+// advanceTable moves the query to a new row state.
+func (q *Query) advanceTable(t *Table) *Query {
+	nq := q.branch()
+	nq.t, nq.b = t, nil
+	return nq
+}
+
+// fail latches an error.
+func (q *Query) fail(err error) *Query {
+	nq := q.branch()
+	nq.err = err
+	return nq
+}
+
 // Run returns the result table or the first error encountered.
 func (q *Query) Run() (*Table, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
-	return q.t, nil
+	return q.table(), nil
 }
 
 // MustRun returns the result table, panicking on error; for tests and
@@ -52,14 +114,15 @@ func (q *Query) MustRun() *Table {
 	return t
 }
 
-// Where keeps rows satisfying pred.
+// Where keeps rows satisfying pred. The predicate receives whole rows,
+// so this operation runs on the row path (rows are shared, not
+// copied); prefer WhereEq/WhereFloat/WhereString for vectorized
+// single-column filters.
 func (q *Query) Where(pred Predicate) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t = Select(q.t, pred)
-	return nq
+	return q.advanceTable(Select(q.table(), pred))
 }
 
 // WhereEq keeps rows whose column equals v.
@@ -67,14 +130,19 @@ func (q *Query) WhereEq(col string, v Value) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	j, err := q.t.ColIndex(col)
-	if err != nil {
-		nq.err = err
-		return nq
+	if b := q.block(); b != nil {
+		nb, err := b.WhereEq(col, v)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceBlock(nb)
 	}
-	nq.t = Select(q.t, func(r Row) bool { return r[j].Equal(v) })
-	return nq
+	t := q.table()
+	j, err := t.ColIndex(col)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(Select(t, func(r Row) bool { return r[j].Equal(v) }))
 }
 
 // WhereFloat keeps rows for which pred holds on the numeric column.
@@ -82,14 +150,19 @@ func (q *Query) WhereFloat(col string, pred func(float64) bool) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	j, err := q.t.ColIndex(col)
-	if err != nil {
-		nq.err = err
-		return nq
+	if b := q.block(); b != nil {
+		nb, err := b.WhereFloat(col, pred)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceBlock(nb)
 	}
-	nq.t = Select(q.t, func(r Row) bool { return r[j].IsNumeric() && pred(r[j].AsFloat()) })
-	return nq
+	t := q.table()
+	j, err := t.ColIndex(col)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(Select(t, func(r Row) bool { return r[j].IsNumeric() && pred(r[j].AsFloat()) }))
 }
 
 // WhereString keeps rows for which pred holds on the string column.
@@ -97,14 +170,19 @@ func (q *Query) WhereString(col string, pred func(string) bool) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	j, err := q.t.ColIndex(col)
-	if err != nil {
-		nq.err = err
-		return nq
+	if b := q.block(); b != nil {
+		nb, err := b.WhereString(col, pred)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceBlock(nb)
 	}
-	nq.t = Select(q.t, func(r Row) bool { return r[j].Type() == TypeString && pred(r[j].AsString()) })
-	return nq
+	t := q.table()
+	j, err := t.ColIndex(col)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(Select(t, func(r Row) bool { return r[j].Type() == TypeString && pred(r[j].AsString()) }))
 }
 
 // Select projects to the named columns.
@@ -112,9 +190,37 @@ func (q *Query) Select(cols ...string) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t, nq.err = Project(q.t, cols...)
-	return nq
+	if b := q.block(); b != nil {
+		nb, err := b.Project(cols...)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceBlock(nb)
+	}
+	t, err := Project(q.table(), cols...)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(t)
+}
+
+// Rename renames a column in the current result.
+func (q *Query) Rename(oldName, newName string) *Query {
+	if q.err != nil {
+		return q
+	}
+	if b := q.block(); b != nil {
+		nb, err := b.Rename(oldName, newName)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceBlock(nb)
+	}
+	t, err := Rename(q.table(), oldName, newName)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(t)
 }
 
 // Join equijoins the current result with other on leftCol = rightCol.
@@ -122,9 +228,20 @@ func (q *Query) Join(other *Table, leftCol, rightCol string) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t, nq.err = EquiJoin(q.t, other, leftCol, rightCol)
-	return nq
+	if b := q.block(); b != nil {
+		if ob, err := FromTable(other); err == nil {
+			nb, err := b.EquiJoin(ob, leftCol, rightCol, q.sc)
+			if err != nil {
+				return q.fail(err)
+			}
+			return q.advanceBlock(nb)
+		}
+	}
+	t, err := EquiJoin(q.table(), other, leftCol, rightCol)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(t)
 }
 
 // GroupBy groups by keys and computes aggs.
@@ -132,9 +249,18 @@ func (q *Query) GroupBy(keys []string, aggs ...Aggregate) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t, nq.err = GroupBy(q.t, keys, aggs)
-	return nq
+	if b := q.block(); b != nil {
+		t, err := b.GroupBy(keys, aggs, q.sc)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceTable(t)
+	}
+	t, err := GroupBy(q.table(), keys, aggs)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(t)
 }
 
 // OrderBy sorts by the column.
@@ -142,9 +268,18 @@ func (q *Query) OrderBy(col string, desc bool) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t, nq.err = OrderBy(q.t, col, desc)
-	return nq
+	if b := q.block(); b != nil {
+		nb, err := b.OrderBy(col, desc)
+		if err != nil {
+			return q.fail(err)
+		}
+		return q.advanceBlock(nb)
+	}
+	t, err := OrderBy(q.table(), col, desc)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(t)
 }
 
 // Distinct removes duplicate rows.
@@ -152,9 +287,10 @@ func (q *Query) Distinct() *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t = Distinct(q.t)
-	return nq
+	if b := q.block(); b != nil {
+		return q.advanceBlock(b.Distinct(q.sc))
+	}
+	return q.advanceTable(Distinct(q.table()))
 }
 
 // Limit truncates to n rows.
@@ -162,28 +298,34 @@ func (q *Query) Limit(n int) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t = Limit(q.t, n)
-	return nq
+	if b := q.block(); b != nil {
+		return q.advanceBlock(b.Limit(n))
+	}
+	return q.advanceTable(Limit(q.table(), n))
 }
 
-// Extend appends a computed column.
+// Extend appends a computed column. The callback receives whole rows,
+// so this operation runs on the row path.
 func (q *Query) Extend(name string, typ Type, f func(Row) Value) *Query {
 	if q.err != nil {
 		return q
 	}
-	nq := q.branch()
-	nq.t, nq.err = Extend(q.t, name, typ, f)
-	return nq
+	t, err := Extend(q.table(), name, typ, f)
+	if err != nil {
+		return q.fail(err)
+	}
+	return q.advanceTable(t)
 }
 
 // Count runs the query and returns its row count.
 func (q *Query) Count() (int, error) {
-	t, err := q.Run()
-	if err != nil {
-		return 0, err
+	if q.err != nil {
+		return 0, q.err
 	}
-	return t.Len(), nil
+	if q.b != nil {
+		return q.b.Len(), nil
+	}
+	return q.t.Len(), nil
 }
 
 // ScalarFloat runs the query, which must produce exactly one row and one

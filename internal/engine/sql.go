@@ -585,20 +585,224 @@ func compileWhere(e *whereExpr, schema Schema) (Predicate, error) {
 	return nil, sqlErrf("unsupported WHERE node %q", e.op)
 }
 
-// execSelect runs a parsed SELECT against the database.
+// compileWhereCol converts the expression tree into a logical-row
+// predicate over the block, mirroring compileWhere exactly: leaves read
+// column values through the block (allocation-free Value reconstruction)
+// and compare with the same Equal/Less semantics as the row path.
+func compileWhereCol(e *whereExpr, b *ColumnBlock) (func(i int) bool, error) {
+	switch e.op {
+	case "and":
+		l, err := compileWhereCol(e.l, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileWhereCol(e.r, b)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool { return l(i) && r(i) }, nil
+	case "or":
+		l, err := compileWhereCol(e.l, b)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileWhereCol(e.r, b)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool { return l(i) || r(i) }, nil
+	case "not":
+		inner, err := compileWhereCol(e.l, b)
+		if err != nil {
+			return nil, err
+		}
+		return func(i int) bool { return !inner(i) }, nil
+	case "between":
+		idx, err := b.ColIndex(e.col)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := e.lo, e.hi
+		return func(i int) bool {
+			v := b.value(i, idx)
+			return !v.Less(lo) && !hi.Less(v)
+		}, nil
+	case "cmp":
+		idx, err := b.ColIndex(e.col)
+		if err != nil {
+			return nil, err
+		}
+		val := e.val
+		switch e.cmpOp {
+		case "=":
+			return func(i int) bool { return b.value(i, idx).Equal(val) }, nil
+		case "<>", "!=":
+			return func(i int) bool { return !b.value(i, idx).Equal(val) }, nil
+		case "<":
+			return func(i int) bool { return b.value(i, idx).Less(val) }, nil
+		case "<=":
+			return func(i int) bool { return !val.Less(b.value(i, idx)) }, nil
+		case ">":
+			return func(i int) bool { return val.Less(b.value(i, idx)) }, nil
+		case ">=":
+			return func(i int) bool { return !b.value(i, idx).Less(val) }, nil
+		}
+	}
+	return nil, sqlErrf("unsupported WHERE node %q", e.op)
+}
+
+// selectAggs extracts the aggregate list of a grouped SELECT,
+// validating that non-aggregate items are GROUP BY keys.
+func selectAggs(st *selectStmt) ([]Aggregate, error) {
+	var aggs []Aggregate
+	for _, item := range st.items {
+		if !item.isAgg {
+			// Non-aggregate items must be group-by keys; they are
+			// emitted automatically by GroupBy.
+			if !containsFold(st.groupBy, item.col) {
+				return nil, sqlErrf("column %q must appear in GROUP BY", item.col)
+			}
+			continue
+		}
+		name := item.alias
+		if name == "" {
+			name = strings.ToLower(item.agg.String())
+			if item.col != "" {
+				name += "_" + item.col
+			}
+		}
+		aggs = append(aggs, Aggregate{Fn: item.agg, Col: item.col, As: name})
+	}
+	return aggs, nil
+}
+
+// selectProjection extracts the projection columns and renames of a
+// non-aggregate SELECT list.
+func selectProjection(st *selectStmt) (cols []string, renames map[string]string, err error) {
+	renames = map[string]string{}
+	for _, item := range st.items {
+		if item.star {
+			return nil, nil, sqlErrf("cannot mix * with named columns")
+		}
+		cols = append(cols, item.col)
+		if item.alias != "" {
+			renames[item.col] = item.alias
+		}
+	}
+	return cols, renames, nil
+}
+
+func selectHasAgg(st *selectStmt) bool {
+	for _, item := range st.items {
+		if item.isAgg {
+			return true
+		}
+	}
+	return false
+}
+
+// execSelect runs a parsed SELECT against the database. Execution is
+// columnar when the involved tables decode into uniform column vectors,
+// and falls back to the row operators when they do not; both paths
+// produce byte-identical results (golden_test.go).
 func execSelect(db *Database, st *selectStmt) (*Table, error) {
 	t, err := db.Get(st.from)
 	if err != nil {
 		return nil, err
 	}
+	var right *Table
 	if st.join != "" {
-		right, err := db.Get(st.join)
+		right, err = db.Get(st.join)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if b, err := FromTable(t); err == nil {
+		out, err := execSelectCol(st, b, right)
+		if err == nil {
+			return out, nil
+		}
+		if !errors.Is(err, ErrMixedColumn) {
+			return nil, err
+		}
+		// The join table failed columnar decode: run on rows.
+	}
+	return execSelectRows(st, t, right)
+}
+
+// execSelectCol runs the SELECT over the columnar operators. An
+// ErrMixedColumn return means a table could not be decoded and the
+// caller should retry on the row path; any other error is final.
+func execSelectCol(st *selectStmt, b *ColumnBlock, right *Table) (*Table, error) {
+	sc := NewScratch()
+	if right != nil {
+		rb, err := FromTable(right)
 		if err != nil {
 			return nil, err
 		}
 		// Join columns may be written bare or table-qualified
 		// ("person.pid"); strip a matching table qualifier so the name
 		// resolves against the pre-join schemas.
+		b, err = b.EquiJoin(rb,
+			stripQualifier(st.joinL, st.from),
+			stripQualifier(st.joinR, st.join), sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if st.where != nil {
+		pred, err := compileWhereCol(st.where, b)
+		if err != nil {
+			return nil, err
+		}
+		b = b.whereFunc(pred)
+	}
+	if selectHasAgg(st) || len(st.groupBy) > 0 {
+		aggs, err := selectAggs(st)
+		if err != nil {
+			return nil, err
+		}
+		t, err := b.GroupBy(st.groupBy, aggs, sc)
+		if err != nil {
+			return nil, err
+		}
+		// Group-by output is a small row table; finish on rows.
+		return execSelectTail(st, t)
+	}
+	if !(len(st.items) == 1 && st.items[0].star) {
+		cols, renames, err := selectProjection(st)
+		if err != nil {
+			return nil, err
+		}
+		if b, err = b.Project(cols...); err != nil {
+			return nil, err
+		}
+		for from, to := range renames {
+			if b, err = b.Rename(from, to); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if st.distinct {
+		b = b.Distinct(sc)
+	}
+	if st.orderBy != "" {
+		var err error
+		if b, err = b.OrderBy(st.orderBy, st.desc); err != nil {
+			return nil, err
+		}
+	}
+	if st.limit >= 0 {
+		b = b.Limit(st.limit)
+	}
+	return b.ToTable(), nil
+}
+
+// execSelectRows is the row-operator fallback, used when a table holds
+// values the columnar layout cannot represent.
+func execSelectRows(st *selectStmt, t *Table, right *Table) (*Table, error) {
+	var err error
+	if right != nil {
 		t, err = EquiJoin(t, right,
 			stripQualifier(st.joinL, st.from),
 			stripQualifier(st.joinR, st.join))
@@ -613,32 +817,11 @@ func execSelect(db *Database, st *selectStmt) (*Table, error) {
 		}
 		t = Select(t, pred)
 	}
-	hasAgg := false
-	for _, item := range st.items {
-		if item.isAgg {
-			hasAgg = true
-		}
-	}
 	switch {
-	case hasAgg || len(st.groupBy) > 0:
-		var aggs []Aggregate
-		for _, item := range st.items {
-			if !item.isAgg {
-				// Non-aggregate items must be group-by keys; they are
-				// emitted automatically by GroupBy.
-				if !containsFold(st.groupBy, item.col) {
-					return nil, sqlErrf("column %q must appear in GROUP BY", item.col)
-				}
-				continue
-			}
-			name := item.alias
-			if name == "" {
-				name = strings.ToLower(item.agg.String())
-				if item.col != "" {
-					name += "_" + item.col
-				}
-			}
-			aggs = append(aggs, Aggregate{Fn: item.agg, Col: item.col, As: name})
+	case selectHasAgg(st) || len(st.groupBy) > 0:
+		aggs, err := selectAggs(st)
+		if err != nil {
+			return nil, err
 		}
 		t, err = GroupBy(t, st.groupBy, aggs)
 		if err != nil {
@@ -647,16 +830,9 @@ func execSelect(db *Database, st *selectStmt) (*Table, error) {
 	case len(st.items) == 1 && st.items[0].star:
 		// SELECT *: keep every column.
 	default:
-		cols := make([]string, 0, len(st.items))
-		renames := map[string]string{}
-		for _, item := range st.items {
-			if item.star {
-				return nil, sqlErrf("cannot mix * with named columns")
-			}
-			cols = append(cols, item.col)
-			if item.alias != "" {
-				renames[item.col] = item.alias
-			}
+		cols, renames, err := selectProjection(st)
+		if err != nil {
+			return nil, err
 		}
 		t, err = Project(t, cols...)
 		if err != nil {
@@ -669,6 +845,12 @@ func execSelect(db *Database, st *selectStmt) (*Table, error) {
 			}
 		}
 	}
+	return execSelectTail(st, t)
+}
+
+// execSelectTail applies DISTINCT / ORDER BY / LIMIT to a row table.
+func execSelectTail(st *selectStmt, t *Table) (*Table, error) {
+	var err error
 	if st.distinct {
 		t = Distinct(t)
 	}

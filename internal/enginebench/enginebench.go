@@ -1,0 +1,157 @@
+// Package enginebench builds deterministic micro-benchmark workloads
+// for the relational engine's row and columnar execution paths. The
+// same Workload definitions back both the `go test -bench` benchmarks
+// (internal/engine/bench_test.go) and the cmd/benchjson trajectory
+// recorder, so the numbers in BENCH_4.json measure exactly the code the
+// benchmarks do.
+package enginebench
+
+import (
+	"fmt"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/rng"
+)
+
+// Sizes are the row counts every operator workload is generated at.
+var Sizes = []int{10_000, 100_000}
+
+// Workload is one operator micro-benchmark: Row runs the row-based
+// operator once, Col the columnar counterpart. Both operate on
+// pre-built inputs (table and decoded block), so an iteration measures
+// operator execution, not data generation or boundary conversion; the
+// columnar side threads one reusable Scratch through all iterations,
+// the way a query plan would.
+type Workload struct {
+	Op   string // Select, EquiJoin, GroupBy, Distinct
+	Rows int
+	Row  func()
+	Col  func()
+}
+
+// Name returns the canonical benchmark label, e.g. "EquiJoin/100000".
+func (w Workload) Name() string { return fmt.Sprintf("%s/%d", w.Op, w.Rows) }
+
+// events builds the probe-side fact table: a small-domain int group
+// key, a float measure, a small-domain string tag, and a bool flag.
+func events(r *rng.Stream, n int) *engine.Table {
+	t := &engine.Table{Name: "events", Schema: engine.Schema{
+		{Name: "gid", Type: engine.TypeInt},
+		{Name: "val", Type: engine.TypeFloat},
+		{Name: "tag", Type: engine.TypeString},
+		{Name: "flag", Type: engine.TypeBool},
+	}}
+	t.Rows = make([]engine.Row, 0, n)
+	for i := 0; i < n; i++ {
+		t.Rows = append(t.Rows, engine.Row{
+			engine.Int(int64(r.Intn(64))),
+			engine.Float(r.Float64()),
+			engine.Str(fmt.Sprintf("t%02d", r.Intn(16))),
+			engine.Bool(r.Bool(0.5)),
+		})
+	}
+	return t
+}
+
+// dims builds the small build-side reference table: 64 rows keyed by
+// gid, so EquiJoin exercises the small-build-side path.
+func dims() *engine.Table {
+	t := &engine.Table{Name: "dims", Schema: engine.Schema{
+		{Name: "gid", Type: engine.TypeInt},
+		{Name: "name", Type: engine.TypeString},
+	}}
+	for i := 0; i < 64; i++ {
+		t.Rows = append(t.Rows, engine.Row{engine.Int(int64(i)), engine.Str(fmt.Sprintf("g%02d", i))})
+	}
+	return t
+}
+
+func mustBlock(t *engine.Table) *engine.ColumnBlock {
+	b, err := engine.FromTable(t)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Workloads builds every operator workload at every size. Generation is
+// seeded through internal/rng, so the data — and therefore the work — is
+// identical on every run.
+func Workloads() []Workload {
+	var out []Workload
+	r := rng.New(0x5eed)
+	dim := dims()
+	dimBlock := mustBlock(dim)
+	for _, n := range Sizes {
+		ev := events(r.Split(), n)
+		evBlock := mustBlock(ev)
+		sc := engine.NewScratch()
+		vi, err := ev.ColIndex("val")
+		if err != nil {
+			panic(err)
+		}
+
+		pred := func(f float64) bool { return f < 0.5 }
+		out = append(out, Workload{
+			Op: "Select", Rows: n,
+			Row: func() {
+				engine.Select(ev, func(row engine.Row) bool {
+					return row[vi].IsNumeric() && pred(row[vi].AsFloat())
+				})
+			},
+			Col: func() {
+				if _, err := evBlock.WhereFloat("val", pred); err != nil {
+					panic(err)
+				}
+			},
+		})
+
+		out = append(out, Workload{
+			Op: "EquiJoin", Rows: n,
+			Row: func() {
+				if _, err := engine.EquiJoin(ev, dim, "gid", "gid"); err != nil {
+					panic(err)
+				}
+			},
+			Col: func() {
+				if _, err := evBlock.EquiJoin(dimBlock, "gid", "gid", sc); err != nil {
+					panic(err)
+				}
+			},
+		})
+
+		keys := []string{"gid"}
+		aggs := []engine.Aggregate{
+			{Fn: engine.AggCount, As: "n"},
+			{Fn: engine.AggSum, Col: "val", As: "s"},
+			{Fn: engine.AggMin, Col: "val", As: "mn"},
+		}
+		out = append(out, Workload{
+			Op: "GroupBy", Rows: n,
+			Row: func() {
+				if _, err := engine.GroupBy(ev, keys, aggs); err != nil {
+					panic(err)
+				}
+			},
+			Col: func() {
+				if _, err := evBlock.GroupBy(keys, aggs, sc); err != nil {
+					panic(err)
+				}
+			},
+		})
+
+		// Distinct runs over a projection with heavy duplication (64×16×2
+		// distinct combinations), the shape DISTINCT exists for.
+		proj, err := engine.Project(ev, "gid", "tag", "flag")
+		if err != nil {
+			panic(err)
+		}
+		projBlock := mustBlock(proj)
+		out = append(out, Workload{
+			Op: "Distinct", Rows: n,
+			Row: func() { engine.Distinct(proj) },
+			Col: func() { projBlock.Distinct(sc) },
+		})
+	}
+	return out
+}

@@ -3,6 +3,7 @@ package mcdb
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"modeldata/internal/engine"
 	"modeldata/internal/parallel"
@@ -25,6 +26,14 @@ type BundleTable struct {
 	// Unc[tuple][k][iter] is the value of the k-th uncertain column of
 	// the tuple at the given Monte Carlo iteration.
 	Unc [][][]float64
+
+	// detOnce caches the columnar decode of Det — the deterministic
+	// attributes convert to column vectors once, then every Realize call
+	// only patches the uncertain columns. Guarded by sync.Once so
+	// concurrent Realize calls share one decode.
+	detOnce  sync.Once
+	detBlock *engine.ColumnBlock
+	detErr   error
 }
 
 // uncPos maps schema index → position within the bundle's uncertain
@@ -216,11 +225,70 @@ func (bt *BundleTable) Estimate(col string, fn engine.AggFunc, pred UncPredicate
 
 // Realize materializes the bundle table at a single Monte Carlo
 // iteration as an ordinary engine table — useful for spot checks and
-// for queries that the bundle executor does not cover.
+// for queries that the bundle executor does not cover. It runs on the
+// columnar path — the deterministic columns decode once per bundle
+// table, each iteration only swaps in fresh uncertain vectors — and
+// falls back to row-at-a-time assembly for bundles whose Det rows the
+// columnar layout cannot represent; both paths produce identical
+// tables.
 func (bt *BundleTable) Realize(iter int) (*engine.Table, error) {
+	if b, err := bt.RealizeBlock(iter); err == nil {
+		return b.ToTable(), nil
+	} else if iter < 0 || iter >= bt.Iters {
+		return nil, err
+	}
+	return bt.realizeRows(iter)
+}
+
+// cachedDetBlock decodes the deterministic columns of Det into a
+// ColumnBlock exactly once (uncertain positions stay zero-filled and
+// are patched per iteration).
+func (bt *BundleTable) cachedDetBlock() (*engine.ColumnBlock, error) {
+	bt.detOnce.Do(func() {
+		bt.detBlock, bt.detErr = engine.FromRowsPartial(bt.Name, bt.Schema, bt.Det, bt.UncertainCols)
+	})
+	return bt.detBlock, bt.detErr
+}
+
+// RealizeBlock materializes the bundle table at a single Monte Carlo
+// iteration in columnar form: the cached deterministic block plus one
+// freshly gathered vector per uncertain column. This is the batch
+// analogue of the tuple-bundle argument — the per-tuple work that does
+// not depend on the iteration happens once, not Iters times.
+func (bt *BundleTable) RealizeBlock(iter int) (*engine.ColumnBlock, error) {
 	if iter < 0 || iter >= bt.Iters {
 		return nil, fmt.Errorf("mcdb: iteration %d outside [0, %d)", iter, bt.Iters)
 	}
+	b, err := bt.cachedDetBlock()
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range bt.UncertainCols {
+		var vec any
+		if bt.Schema[c].Type == engine.TypeInt {
+			ints := make([]int64, len(bt.Det))
+			for i := range bt.Det {
+				ints[i] = int64(bt.Unc[i][k][iter])
+			}
+			vec = ints
+		} else {
+			floats := make([]float64, len(bt.Det))
+			for i := range bt.Det {
+				floats[i] = bt.Unc[i][k][iter]
+			}
+			vec = floats
+		}
+		if b, err = b.WithColumn(c, vec); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// realizeRows is the row-at-a-time fallback for Realize, kept for
+// bundles whose Det rows hold values that do not match the schema types
+// exactly (Insert re-validates and widens them).
+func (bt *BundleTable) realizeRows(iter int) (*engine.Table, error) {
 	out, err := engine.NewTable(bt.Name, bt.Schema)
 	if err != nil {
 		return nil, err
@@ -261,11 +329,14 @@ func (bt *BundleTable) JoinDet(det *engine.Table, bundleCol, detCol string) (*Bu
 	if err != nil {
 		return nil, err
 	}
-	// Hash the deterministic side.
+	// Hash the deterministic side. Keys are binary AppendKey encodings
+	// built in a reused buffer; a key string is only interned when a new
+	// distinct key enters the table.
 	ht := make(map[string][]engine.Row, det.Len())
+	var keyBuf []byte
 	for _, row := range det.Rows {
-		k := row[dIdx].Key()
-		ht[k] = append(ht[k], row)
+		keyBuf = row[dIdx].AppendKey(keyBuf[:0])
+		ht[string(keyBuf)] = append(ht[string(keyBuf)], row)
 	}
 	schema := bt.Schema.Clone()
 	for _, c := range det.Schema {
@@ -281,7 +352,8 @@ func (bt *BundleTable) JoinDet(det *engine.Table, bundleCol, detCol string) (*Bu
 		UncertainCols: append([]int(nil), bt.UncertainCols...),
 	}
 	for i, d := range bt.Det {
-		for _, match := range ht[d[bIdx].Key()] {
+		keyBuf = d[bIdx].AppendKey(keyBuf[:0])
+		for _, match := range ht[string(keyBuf)] {
 			nr := make(engine.Row, 0, len(d)+len(match))
 			nr = append(nr, d...)
 			nr = append(nr, match...)
