@@ -5,15 +5,22 @@
 // Usage:
 //
 //	experiments [-run F1,E3] [-seed 20140622] [-workers 8] [-md] [-stats]
-//	            [-retries 2] [-spec 3]
+//	            [-retries 2] [-spec 3] [-chaos 0.05] [-trace out.json]
+//	            [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With no -run flag every registered experiment runs. -md emits a
 // Markdown table suitable for EXPERIMENTS.md; -workers bounds the
 // parallelism of every Monte Carlo loop (results are identical at any
-// worker count); -stats prints per-experiment throughput and
-// fault-tolerance counters. -retries grants every runtime task a retry
-// budget and -spec enables speculative re-execution of stragglers;
-// neither changes the numbers produced. Interrupting the process
+// worker count); -stats prints a per-experiment run report (throughput,
+// engine columnar-vs-row activity, shuffle bytes, fault-tolerance
+// counters). -retries grants every runtime task a retry budget and
+// -spec enables speculative re-execution of stragglers; -chaos injects
+// deterministic task panics with the given probability (pair it with
+// -retries to exercise the recovery path). None of these change the
+// numbers produced. -trace writes the span tree of all executed
+// experiments as a Chrome trace-event JSON file (load it in
+// chrome://tracing or https://ui.perfetto.dev); -cpuprofile and
+// -memprofile write standard pprof profiles. Interrupting the process
 // (Ctrl-C) cancels the running experiment promptly.
 package main
 
@@ -30,9 +37,16 @@ import (
 
 	"modeldata"
 	"modeldata/internal/experiments"
+	"modeldata/internal/obs"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain holds the program body so that deferred writers (trace dump,
+// profiles) run before the process exits with a status code.
+func realMain() int {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Uint64("seed", modeldata.DefaultSeed, "master random seed")
 	workers := flag.Int("workers", 0, "worker bound for parallel loops (0 = GOMAXPROCS)")
@@ -40,6 +54,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-experiment iteration, shuffle, and fault-tolerance counters")
 	retries := flag.Int("retries", 0, "per-task retry budget for runtime fault tolerance")
 	spec := flag.Float64("spec", 0, "speculative-execution factor (backup tasks beyond this multiple of the median task time; 0 = off)")
+	chaos := flag.Float64("chaos", 0, "deterministic task-panic probability for fault injection (0 = off; pair with -retries)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON span dump to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list registered experiment IDs and exit")
 	flag.Parse()
 
@@ -47,11 +65,44 @@ func main() {
 		for _, id := range modeldata.ExperimentIDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := stopProf(); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		defer func() {
+			if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+				return
+			}
+			snap := tracer.Snapshot()
+			fmt.Fprintf(os.Stderr, "trace: %d spans (max depth %d) written to %s\n",
+				len(snap), tracer.MaxDepth(), *tracePath)
+		}()
+	}
 
 	ids := modeldata.ExperimentIDs()
 	if *runList != "" {
@@ -68,15 +119,23 @@ func main() {
 	}
 	for _, id := range ids {
 		var st modeldata.Stats
-		res, err := modeldata.Run(ctx, id,
+		opts := []modeldata.Option{
 			modeldata.WithSeed(*seed),
 			modeldata.WithWorkers(*workers),
 			modeldata.WithRetries(*retries),
 			modeldata.WithSpeculation(*spec),
-			modeldata.WithStats(&st))
+			modeldata.WithStats(&st),
+		}
+		if *chaos > 0 {
+			opts = append(opts, modeldata.WithChaos(*chaos, *seed))
+		}
+		if tracer != nil {
+			opts = append(opts, modeldata.WithTracer(tracer))
+		}
+		res, err := modeldata.Run(ctx, id, opts...)
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted")
-			os.Exit(130)
+			return 130
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
@@ -93,16 +152,14 @@ func main() {
 			printSeries(res)
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "  [%s] iters=%d shuffle=%dB attempts=%d retries=%d spec=%d/%d backoff=%s elapsed=%s rate=%.0f/s\n",
-				res.ID, st.Iterations, st.ShuffleBytes,
-				st.TaskAttempts, st.Retries, st.SpeculativeWins, st.SpeculativeLaunches,
-				st.BackoffTime.Round(0), st.Elapsed.Round(0), st.SamplesPerSec)
+			fmt.Fprintf(os.Stderr, "[%s] %s", res.ID, st.Report())
 		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) failed to reproduce\n", failures)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func printMarkdown(res experiments.Result) {

@@ -54,6 +54,9 @@ import "modeldata/internal/experiments"
 // ExperimentResult is the outcome of one reproduced figure or claim.
 type ExperimentResult = experiments.Result
 
+// Row is one reported number of an ExperimentResult.
+type Row = experiments.Row
+
 // ExperimentIDs lists the registered experiments (F1–F5 for the
 // paper's figures, E1–E13 for its quantitative claims) in display
 // order.

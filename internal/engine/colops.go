@@ -34,6 +34,7 @@ func (b *ColumnBlock) withSel(sel []int32) *ColumnBlock {
 // logical row index and reads columns through the block.
 func (b *ColumnBlock) whereFunc(pred func(i int) bool) *ColumnBlock {
 	n := b.Len()
+	rowsScanned.Add(int64(n))
 	var sel []int32
 	for i := 0; i < n; i++ {
 		if pred(i) {
@@ -52,6 +53,7 @@ func (b *ColumnBlock) WhereEq(col string, v Value) (*ColumnBlock, error) {
 		return nil, err
 	}
 	n := b.Len()
+	rowsScanned.Add(int64(n))
 	var sel []int32
 	switch {
 	case b.Schema[j].Type == TypeInt && v.typ == TypeInt:
@@ -95,6 +97,7 @@ func (b *ColumnBlock) WhereFloat(col string, pred func(float64) bool) (*ColumnBl
 		return nil, err
 	}
 	n := b.Len()
+	rowsScanned.Add(int64(n))
 	var sel []int32
 	switch b.Schema[j].Type {
 	case TypeFloat:
@@ -122,6 +125,7 @@ func (b *ColumnBlock) WhereString(col string, pred func(string) bool) (*ColumnBl
 		return nil, err
 	}
 	n := b.Len()
+	rowsScanned.Add(int64(n))
 	var sel []int32
 	if b.Schema[j].Type == TypeString {
 		strs := b.cols[j].strs
@@ -675,6 +679,7 @@ func (b *ColumnBlock) extremeValue(sts []colAggState, g, j int, min bool) Value 
 func (b *ColumnBlock) Distinct(sc *Scratch) *ColumnBlock {
 	sc = sc.orNew()
 	n := b.Len()
+	rowsScanned.Add(int64(n))
 	var sel []int32
 	allIdx := make([]int, len(b.Schema))
 	for j := range allIdx {

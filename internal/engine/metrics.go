@@ -1,0 +1,51 @@
+package engine
+
+// Engine-level observability. The query builder and SQL executor carry
+// no context.Context, so their metrics report into the process-wide
+// obs.Default() registry; modeldata.Run diffs that registry around a
+// run to attribute engine activity to it. The key signal is the
+// columnar→row fallback: before this existed, a table that failed the
+// strict columnar decode silently latched every query onto the row
+// path, and the only symptom was a quiet slowdown (the paper's central
+// complaint about opaque model-data pipelines). Now each latch
+// increments engine.colfallback and the first one per process logs the
+// triggering column and type.
+
+import (
+	"log"
+	"sync"
+
+	"modeldata/internal/obs"
+)
+
+// Metric names reported by the engine into obs.Default().
+const (
+	// MetricColFallback counts query paths latched from columnar to
+	// row execution by a failed strict decode.
+	MetricColFallback = "engine.colfallback"
+	// MetricColQueries counts query paths that ran columnar.
+	MetricColQueries = "engine.colpath"
+	// MetricRowsScanned counts rows examined by scan operators
+	// (row-path Select and columnar Where* filters).
+	MetricRowsScanned = "engine.rows_scanned"
+)
+
+var (
+	colFallbacks = obs.Default().Counter(MetricColFallback)
+	colQueries   = obs.Default().Counter(MetricColQueries)
+	rowsScanned  = obs.Default().Counter(MetricRowsScanned)
+
+	fallbackLogOnce sync.Once
+)
+
+// noteColFallback records one columnar→row fallback latch. The counter
+// fires every time; the log line — naming the column and dynamic type
+// that broke the decode — fires once per process so a fallback storm
+// cannot flood stderr.
+func noteColFallback(err error) {
+	colFallbacks.Add(1)
+	fallbackLogOnce.Do(func() {
+		log.Printf("engine: columnar decode failed, latched to row path (further fallbacks counted in %s): %v",
+			MetricColFallback, err)
+	})
+}

@@ -12,6 +12,7 @@ type Predicate func(Row) bool
 // Select returns a new table containing the rows of t that satisfy
 // pred. Rows are shared, not copied; treat query results as immutable.
 func Select(t *Table, pred Predicate) *Table {
+	rowsScanned.Add(int64(len(t.Rows)))
 	out := &Table{Name: t.Name, Schema: t.Schema.Clone()}
 	for _, r := range t.Rows {
 		if pred(r) {

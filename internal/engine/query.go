@@ -68,9 +68,14 @@ func (q *Query) block() *ColumnBlock {
 	}
 	b, err := FromTable(q.t)
 	if err != nil {
+		// Silent before the observability layer: latching to the row
+		// path is correct (both paths agree bit-for-bit) but slow, so
+		// count and log it (metrics.go).
+		noteColFallback(err)
 		q.noCol = true
 		return nil
 	}
+	colQueries.Add(1)
 	q.b = b
 	return b
 }

@@ -717,15 +717,19 @@ func execSelect(db *Database, st *selectStmt) (*Table, error) {
 			return nil, err
 		}
 	}
-	if b, err := FromTable(t); err == nil {
+	if b, berr := FromTable(t); berr == nil {
 		out, err := execSelectCol(st, b, right)
 		if err == nil {
+			colQueries.Add(1)
 			return out, nil
 		}
 		if !errors.Is(err, ErrMixedColumn) {
 			return nil, err
 		}
 		// The join table failed columnar decode: run on rows.
+		noteColFallback(err)
+	} else {
+		noteColFallback(berr)
 	}
 	return execSelectRows(st, t, right)
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"modeldata/internal/obs"
 )
 
 // ErrUnknown is returned for an unregistered experiment ID.
@@ -121,5 +123,11 @@ func Run(ctx context.Context, id string, seed uint64) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknown, id)
 	}
-	return r(ctx, seed)
+	ctx, span := obs.Start(ctx, "experiment."+id)
+	defer span.End()
+	res, err := r(ctx, seed)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	return res, err
 }

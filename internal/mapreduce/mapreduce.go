@@ -25,6 +25,7 @@ import (
 	"sort"
 	"time"
 
+	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 )
 
@@ -176,6 +177,9 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 	if len(splits) == 0 {
 		return nil, stats, ErrNoInput
 	}
+	ctx, jobSpan := obs.Start(ctx, "mapreduce.job")
+	jobSpan.SetInt("splits", int64(len(splits)))
+	defer jobSpan.End()
 	stats.InputSplits = len(splits)
 	sizeOf := cfg.SizeOf
 	if sizeOf == nil {
@@ -220,6 +224,7 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 	if err := ctx.Err(); err != nil {
 		return nil, stats, err
 	}
+	_, shufSpan := obs.Start(ctx, "mapreduce.shuffle")
 	partitions := make([]map[string][]any, nRed)
 	for p := range partitions {
 		partitions[p] = make(map[string][]any)
@@ -234,6 +239,9 @@ func RunCtx(ctx context.Context, cfg Config, splits []any, m Mapper, r Reducer) 
 		}
 	}
 	parallel.StatsFrom(ctx).AddShuffleBytes(stats.ShuffleBytes)
+	shufSpan.SetInt("bytes", stats.ShuffleBytes)
+	shufSpan.SetInt("pairs", int64(stats.MapOutput))
+	shufSpan.End()
 
 	// Reduce phase: partitions in parallel; keys sorted within each
 	// partition for determinism. A reduce task's output is buffered per

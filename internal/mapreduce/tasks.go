@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 )
 
@@ -88,6 +89,8 @@ type scheduler[T any] struct {
 	run    func(i int) (T, error)
 	pstats *parallel.Stats       // context-level counters (nil-safe)
 	prog   func(done, total int) // context progress hook (may be nil)
+	clock  obs.Clock             // injectable scheduler clock (straggler detection, durations)
+	traced bool                  // a tracer rides the context: emit per-attempt spans
 
 	mu        sync.Mutex
 	tasks     []taskState
@@ -113,6 +116,10 @@ func runTasks[T any](ctx context.Context, stage string, n, workers int, pol para
 	if workers > n {
 		workers = n
 	}
+	ctx, stageSpan := obs.Start(ctx, "mapreduce."+stage)
+	stageSpan.SetInt("tasks", int64(n))
+	stageSpan.SetInt("workers", int64(workers))
+	defer stageSpan.End()
 	schedCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s := &scheduler[T]{
@@ -122,6 +129,8 @@ func runTasks[T any](ctx context.Context, stage string, n, workers int, pol para
 		run:       run,
 		pstats:    parallel.StatsFrom(ctx),
 		prog:      parallel.ProgressFrom(ctx),
+		clock:     obs.ClockFrom(ctx),
+		traced:    obs.Enabled(ctx),
 		tasks:     make([]taskState, n),
 		results:   make([]T, n),
 		remaining: n,
@@ -177,7 +186,7 @@ func (s *scheduler[T]) worker(ctx context.Context) {
 			return
 		case <-tickC:
 			s.mu.Lock()
-			s.checkStragglersLocked(time.Now())
+			s.checkStragglersLocked(s.clock.Now())
 			s.mu.Unlock()
 		}
 	}
@@ -192,7 +201,7 @@ func (s *scheduler[T]) execute(ctx context.Context, a attemptRef) {
 		s.mu.Unlock()
 		return
 	}
-	began := time.Now()
+	began := s.clock.Now()
 	st.running++
 	if st.running == 1 {
 		st.started = began
@@ -201,7 +210,22 @@ func (s *scheduler[T]) execute(ctx context.Context, a attemptRef) {
 	s.mu.Unlock()
 	s.pstats.AddTaskAttempts(1)
 
+	var span *obs.Span
+	if s.traced {
+		_, span = obs.Start(ctx, s.stage+".task")
+		span.SetInt("index", int64(a.i))
+		span.SetInt("attempt", int64(a.n))
+		if a.spec {
+			span.SetAttr("speculative", "true")
+		}
+	}
 	res, err := s.attempt(a)
+	if span != nil {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
 
 	s.mu.Lock()
 	st.running--
@@ -209,7 +233,7 @@ func (s *scheduler[T]) execute(ctx context.Context, a attemptRef) {
 		st.started = time.Time{}
 	}
 	if err == nil {
-		s.commitLocked(a, res, time.Since(began))
+		s.commitLocked(a, res, s.clock.Now().Sub(began))
 		return
 	}
 	s.failLocked(ctx, a, err)
@@ -257,7 +281,7 @@ func (s *scheduler[T]) commitLocked(a attemptRef, res T, dur time.Duration) {
 	if s.remaining == 0 {
 		close(s.doneCh)
 	} else {
-		s.checkStragglersLocked(time.Now())
+		s.checkStragglersLocked(s.clock.Now())
 	}
 	s.mu.Unlock()
 	s.pstats.AddIterations(1)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
@@ -67,6 +68,10 @@ func (db *DB) InstantiateBundledCtx(ctx context.Context, iters int, seed uint64,
 	if iters <= 0 {
 		return nil, fmt.Errorf("mcdb: iters=%d", iters)
 	}
+	ctx, span := obs.Start(ctx, "mcdb.instantiate_bundled")
+	span.SetInt("iters", int64(iters))
+	span.SetInt("tables", int64(len(db.specs)))
+	defer span.End()
 	r := rng.New(seed)
 	out := make(map[string]*BundleTable, len(db.specs))
 	for _, spec := range db.specs {

@@ -6,8 +6,20 @@ import (
 	"sync"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
+)
+
+// Metric names reported by the session into the per-run registry
+// (parallel.StatsFrom(ctx).Registry()). All counter updates are
+// nil-safe, so instrumentation costs nothing when no Stats is attached.
+const (
+	// MetricRealizeCacheHits counts Session.Exec calls served from the
+	// bundle-realization cache.
+	MetricRealizeCacheHits = "mcdb.realize_cache_hits"
+	// MetricRealizeCacheMisses counts bundle realizations paid for.
+	MetricRealizeCacheMisses = "mcdb.realize_cache_misses"
 )
 
 // This file unifies the two MCDB execution strategies behind one entry
@@ -117,6 +129,11 @@ func (s *Session) Exec(ctx context.Context, q AggQuery, opts ExecOptions) ([]flo
 			strategy = StrategyNaive
 		}
 	}
+	ctx, span := obs.Start(ctx, "mcdb.exec")
+	span.SetAttr("table", q.Table)
+	span.SetAttr("strategy", strategy.String())
+	span.SetInt("iterations", int64(opts.Iterations))
+	defer span.End()
 	switch strategy {
 	case StrategyBundle:
 		return s.execBundle(ctx, spec, q, opts)
@@ -131,12 +148,15 @@ func (s *Session) Exec(ctx context.Context, q AggQuery, opts ExecOptions) ([]flo
 // one (iterations, seed) configuration.
 func (s *Session) bundlesFor(ctx context.Context, opts ExecOptions) (map[string]*BundleTable, error) {
 	key := bundleKey{iters: opts.Iterations, seed: opts.Seed}
+	reg := parallel.StatsFrom(ctx).Registry()
 	s.mu.Lock()
 	cached, ok := s.bundles[key]
 	s.mu.Unlock()
 	if ok {
+		reg.Counter(MetricRealizeCacheHits).Add(1)
 		return cached, nil
 	}
+	reg.Counter(MetricRealizeCacheMisses).Add(1)
 	bundles, err := s.db.InstantiateBundledCtx(ctx, opts.Iterations, opts.Seed, opts.Workers)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,88 @@
+package obs
+
+// Chrome trace-event export. The dump is a single JSON object in the
+// trace-event format ("traceEvents" with complete "X" events), which
+// chrome://tracing, Perfetto, and speedscope all load directly. Span
+// identity and parentage ride in each event's args, so the tree can be
+// reconstructed exactly even where the viewer's time-nesting heuristic
+// is ambiguous (overlapping sibling spans from parallel workers).
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+)
+
+// chromeEvent is one trace-event entry. Timestamps and durations are
+// microseconds, as the format requires.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every recorded span as a Chrome trace-event
+// JSON document. Timestamps are microseconds relative to the earliest
+// span start; each event's args carry the span id, parent id, and
+// attributes. Events appear in span-creation order (deterministic for
+// a deterministic clock and schedule).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	if len(spans) > 0 {
+		epoch := spans[0].Start
+		for _, sp := range spans {
+			if sp.Start.Before(epoch) {
+				epoch = sp.Start
+			}
+		}
+		for _, sp := range spans {
+			args := map[string]string{
+				"id":     formatID(sp.ID),
+				"parent": formatID(sp.Parent),
+			}
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: sp.Name,
+				Cat:  "span",
+				Ph:   "X",
+				Ts:   float64(sp.Start.Sub(epoch)) / 1e3,
+				Dur:  float64(sp.End.Sub(sp.Start)) / 1e3,
+				Pid:  1,
+				Tid:  1,
+				Args: args,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteChromeTraceFile writes the trace to path, creating or
+// truncating it.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func formatID(id uint64) string { return strconv.FormatUint(id, 10) }

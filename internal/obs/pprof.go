@@ -1,0 +1,46 @@
+package obs
+
+// Profiling hooks: thin, error-propagating wrappers over runtime/pprof
+// so command-line tools (cmd/experiments -cpuprofile/-memprofile) stay
+// one-liner thin and every profile file is properly flushed and closed.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns a
+// stop function that ends the profile and closes the file. Exactly one
+// CPU profile may be active per process.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live
+// memory, not garbage awaiting collection) and writes a heap profile to
+// path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return f.Close()
+}

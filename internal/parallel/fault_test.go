@@ -117,6 +117,93 @@ func TestBackoffForGrowsAndCaps(t *testing.T) {
 	}
 }
 
+// TestBackoffForTable walks the full doubling schedule: exact
+// Backoff·2^(failures−1) growth until the cap, then the cap exactly —
+// never a value above it, for failure counts far past the point where
+// naive doubling would overflow the cap.
+func TestBackoffForTable(t *testing.T) {
+	p := RetryPolicy{Backoff: 250 * time.Microsecond, MaxBackoff: 10 * time.Millisecond}
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{1, 250 * time.Microsecond},
+		{2, 500 * time.Microsecond},
+		{3, 1 * time.Millisecond},
+		{4, 2 * time.Millisecond},
+		{5, 4 * time.Millisecond},
+		{6, 8 * time.Millisecond},
+		{7, 10 * time.Millisecond}, // 16ms capped
+		{8, 10 * time.Millisecond},
+		{9, 10 * time.Millisecond},
+		{10, 10 * time.Millisecond},
+		{11, 10 * time.Millisecond},
+		{12, 10 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		got := p.BackoffFor(tc.failures)
+		if got != tc.want {
+			t.Errorf("BackoffFor(%d) = %v, want %v", tc.failures, got, tc.want)
+		}
+		if got > p.MaxBackoff {
+			t.Errorf("BackoffFor(%d) = %v exceeds cap %v", tc.failures, got, p.MaxBackoff)
+		}
+	}
+	// The defaulted policy honors DefaultMaxBackoff over the same range.
+	var zero RetryPolicy
+	for failures := 1; failures <= 12; failures++ {
+		if got := zero.BackoffFor(failures); got > DefaultMaxBackoff {
+			t.Errorf("default BackoffFor(%d) = %v exceeds DefaultMaxBackoff", failures, got)
+		}
+	}
+}
+
+// TestStatsRegistryParityUnderChaos pins the Stats ↔ registry contract
+// introduced with the observability layer: the legacy Stats accessors
+// and the named counters in Stats.Registry() are the same numbers, so a
+// chaotic run must report identical values through both APIs.
+func TestStatsRegistryParityUnderChaos(t *testing.T) {
+	s := NewStats()
+	ctx := WithStats(context.Background(), s)
+	ctx = WithFaultInjector(ctx, PanicInjector{Prob: 0.4, Seed: 21})
+	err := For(ctx, 64, Options{
+		Workers: 4,
+		Retry:   &RetryPolicy{MaxRetries: 8, Backoff: 20 * time.Microsecond},
+	}, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.Registry()
+	if reg == nil {
+		t.Fatal("Stats.Registry() = nil for a live collector")
+	}
+	checks := []struct {
+		metric string
+		got    int64
+	}{
+		{MetricIterations, s.Iterations()},
+		{MetricShuffleBytes, s.ShuffleBytes()},
+		{MetricAttempts, s.TaskAttempts()},
+		{MetricRetries, s.Retries()},
+		{MetricSpecLaunches, s.SpeculativeLaunches()},
+		{MetricSpecWins, s.SpeculativeWins()},
+		{MetricBackoffNanos, int64(s.BackoffTime())},
+	}
+	for _, c := range checks {
+		if v := reg.Counter(c.metric).Value(); v != c.got {
+			t.Errorf("registry %q = %d, Stats accessor = %d", c.metric, v, c.got)
+		}
+	}
+	// The chaos actually exercised the retry path — the parity above is
+	// vacuous if everything stayed zero.
+	if s.Iterations() != 64 {
+		t.Fatalf("iterations = %d, want 64", s.Iterations())
+	}
+	if s.Retries() == 0 || s.TaskAttempts() <= 64 || s.BackoffTime() <= 0 {
+		t.Fatalf("chaos run recorded no fault-tolerance activity: %s", s.Snapshot())
+	}
+}
+
 // TestForRetriesInjectedCrashes runs a loop under an injector that
 // kills the first two attempts of every index: with a sufficient retry
 // budget every index still completes exactly once.

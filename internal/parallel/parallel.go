@@ -33,9 +33,11 @@ package parallel
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"modeldata/internal/obs"
 	"modeldata/internal/rng"
 )
 
@@ -97,6 +99,19 @@ func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 	stats := StatsFrom(ctx)
 	progress := progressFrom(ctx)
 
+	// Tracing: one span for the loop, one child span per iteration.
+	// Both are skipped entirely (no allocation, no ctx growth) when no
+	// tracer is installed, so the hot path is unchanged for untraced
+	// runs.
+	traced := obs.Enabled(ctx)
+	if traced {
+		var loopSpan *obs.Span
+		ctx, loopSpan = obs.Start(ctx, "parallel.for")
+		loopSpan.SetInt("n", int64(n))
+		loopSpan.SetInt("workers", int64(workers))
+		defer loopSpan.End()
+	}
+
 	// run executes one iteration, through the retry machinery when a
 	// policy or injector is installed.
 	run := func(ctx context.Context, i int) error { return fn(i) }
@@ -109,6 +124,16 @@ func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 			run = func(ctx context.Context, i int) error {
 				return runTaskAttempts(ctx, "parallel", i, pol, inj, stats, func() error { return fn(i) })
 			}
+		}
+	}
+	if traced {
+		inner := run
+		run = func(ctx context.Context, i int) error {
+			_, sp := obs.Start(ctx, "parallel.iter")
+			sp.SetAttr("i", strconv.Itoa(i))
+			err := inner(ctx, i)
+			sp.End()
+			return err
 		}
 	}
 

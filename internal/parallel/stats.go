@@ -2,27 +2,82 @@ package parallel
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"modeldata/internal/obs"
+)
+
+// Metric names under which Stats counters live in the per-run registry
+// (DESIGN.md §8 documents the naming scheme). Layers that want to read
+// or assert on these counters address them by name through
+// Stats.Registry().
+const (
+	MetricIterations   = "parallel.iterations"
+	MetricShuffleBytes = "mapreduce.shuffle_bytes"
+	MetricAttempts     = "task.attempts"
+	MetricRetries      = "task.retries"
+	MetricSpecLaunches = "task.speculative_launches"
+	MetricSpecWins     = "task.speculative_wins"
+	MetricBackoffNanos = "task.backoff_ns"
 )
 
 // Stats accumulates per-run execution counters across every parallel
 // loop (and MapReduce shuffle) that runs under a context carrying it.
-// All methods are safe for concurrent use and nil-safe: a nil *Stats
-// counts nothing, so hot loops may call Add* unconditionally.
+// The counters are backed by a per-run obs.Registry — the same numbers
+// are readable through the typed metrics API (Registry) and through the
+// legacy accessor methods, which are kept so existing callers see no
+// change. All methods are safe for concurrent use and nil-safe: a nil
+// *Stats counts nothing, so hot loops may call Add* unconditionally.
 type Stats struct {
-	start        time.Time
-	iterations   atomic.Int64
-	shuffleBytes atomic.Int64
-	taskAttempts atomic.Int64
-	retries      atomic.Int64
-	specLaunches atomic.Int64
-	specWins     atomic.Int64
-	backoffNanos atomic.Int64
+	clock obs.Clock
+	start time.Time
+	reg   *obs.Registry
+
+	iterations   *obs.Counter
+	shuffleBytes *obs.Counter
+	taskAttempts *obs.Counter
+	retries      *obs.Counter
+	specLaunches *obs.Counter
+	specWins     *obs.Counter
+	backoffNanos *obs.Counter
 }
 
-// NewStats returns a Stats collector whose clock starts now.
-func NewStats() *Stats { return &Stats{start: time.Now()} }
+// NewStats returns a Stats collector whose clock starts now (wall
+// time).
+func NewStats() *Stats { return NewStatsClock(obs.Wall) }
+
+// NewStatsClock returns a Stats collector timed by c, so tests can
+// freeze or step elapsed time deterministically.
+func NewStatsClock(c obs.Clock) *Stats {
+	if c == nil {
+		c = obs.Wall
+	}
+	reg := obs.NewRegistry()
+	return &Stats{
+		clock:        c,
+		start:        c.Now(),
+		reg:          reg,
+		iterations:   reg.Counter(MetricIterations),
+		shuffleBytes: reg.Counter(MetricShuffleBytes),
+		taskAttempts: reg.Counter(MetricAttempts),
+		retries:      reg.Counter(MetricRetries),
+		specLaunches: reg.Counter(MetricSpecLaunches),
+		specWins:     reg.Counter(MetricSpecWins),
+		backoffNanos: reg.Counter(MetricBackoffNanos),
+	}
+}
+
+// Registry exposes the per-run metrics registry backing this collector,
+// so layers with richer metrics (realize-cache hits, per-stage
+// histograms) report into the same per-run sink. Returns nil for a nil
+// *Stats; obs metrics are nil-safe, so the result can be used without
+// checking.
+func (s *Stats) Registry() *obs.Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
 
 // AddIterations records n completed Monte Carlo iterations (samples,
 // particles, chain replicates, design points, …).
@@ -82,7 +137,7 @@ func (s *Stats) Iterations() int64 {
 	if s == nil {
 		return 0
 	}
-	return s.iterations.Load()
+	return s.iterations.Value()
 }
 
 // ShuffleBytes returns the shuffle bytes recorded so far.
@@ -90,7 +145,7 @@ func (s *Stats) ShuffleBytes() int64 {
 	if s == nil {
 		return 0
 	}
-	return s.shuffleBytes.Load()
+	return s.shuffleBytes.Value()
 }
 
 // TaskAttempts returns the task attempts launched so far.
@@ -98,7 +153,7 @@ func (s *Stats) TaskAttempts() int64 {
 	if s == nil {
 		return 0
 	}
-	return s.taskAttempts.Load()
+	return s.taskAttempts.Value()
 }
 
 // Retries returns the failed attempts re-run so far.
@@ -106,7 +161,7 @@ func (s *Stats) Retries() int64 {
 	if s == nil {
 		return 0
 	}
-	return s.retries.Load()
+	return s.retries.Value()
 }
 
 // SpeculativeLaunches returns the backup attempts launched so far.
@@ -114,7 +169,7 @@ func (s *Stats) SpeculativeLaunches() int64 {
 	if s == nil {
 		return 0
 	}
-	return s.specLaunches.Load()
+	return s.specLaunches.Value()
 }
 
 // SpeculativeWins returns the tasks won by a backup attempt so far.
@@ -122,7 +177,7 @@ func (s *Stats) SpeculativeWins() int64 {
 	if s == nil {
 		return 0
 	}
-	return s.specWins.Load()
+	return s.specWins.Value()
 }
 
 // BackoffTime returns the cumulative retry backoff recorded so far.
@@ -130,15 +185,16 @@ func (s *Stats) BackoffTime() time.Duration {
 	if s == nil {
 		return 0
 	}
-	return time.Duration(s.backoffNanos.Load())
+	return time.Duration(s.backoffNanos.Value())
 }
 
-// Elapsed returns the wall-clock time since NewStats.
+// Elapsed returns the time since NewStats, measured by the collector's
+// clock.
 func (s *Stats) Elapsed() time.Duration {
 	if s == nil || s.start.IsZero() {
 		return 0
 	}
-	return time.Since(s.start)
+	return s.clock.Now().Sub(s.start)
 }
 
 // SamplesPerSec returns the iteration throughput since NewStats.

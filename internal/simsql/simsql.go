@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
 )
@@ -73,6 +74,9 @@ func (c *Chain) RunCtx(ctx context.Context, steps int, seed uint64) (*Realizatio
 	if steps < 0 {
 		return nil, fmt.Errorf("simsql: steps=%d", steps)
 	}
+	ctx, span := obs.Start(ctx, "simsql.chain")
+	span.SetInt("steps", int64(steps))
+	defer span.End()
 	r := rng.New(seed)
 	base := c.Base
 	if base == nil {
@@ -174,6 +178,10 @@ func (c *Chain) MonteCarloCtx(ctx context.Context, steps, nChains int, seed uint
 	if nChains <= 0 {
 		return nil, fmt.Errorf("simsql: nChains=%d", nChains)
 	}
+	ctx, span := obs.Start(ctx, "simsql.montecarlo")
+	span.SetInt("steps", int64(steps))
+	span.SetInt("chains", int64(nChains))
+	defer span.End()
 	parent := rng.New(seed)
 	seeds := make([]uint64, nChains)
 	for n := range seeds {

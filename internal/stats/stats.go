@@ -209,11 +209,15 @@ func ExtremeQuantile(xs []float64, p float64) (float64, error) {
 
 // MeanCI returns the sample mean of xs together with a normal-theory
 // confidence interval half-width at the given confidence level (e.g.
-// 0.95). For n < 2 the half-width is 0.
+// 0.95). The level must lie in the open interval (0, 1); out-of-domain
+// levels yield a 0 half-width rather than a quantile of a nonsense
+// probability (level ≥ 1 would previously ask NormalQuantile for
+// p ≥ 1 and return ±Inf or NaN silently). For n < 2 the half-width
+// is 0.
 func MeanCI(xs []float64, level float64) (mean, halfWidth float64) {
 	mean = Mean(xs)
 	n := len(xs)
-	if n < 2 {
+	if n < 2 || level <= 0 || level >= 1 {
 		return mean, 0
 	}
 	z := rng.NormalQuantile(0.5 + level/2)
@@ -223,10 +227,14 @@ func MeanCI(xs []float64, level float64) (mean, halfWidth float64) {
 
 // Histogram bins xs into nbins equal-width bins over [lo, hi] and
 // returns the counts. Values outside the range are clamped into the end
-// bins.
+// bins. A non-positive nbins or an empty range yields an empty slice
+// (previously a negative nbins panicked in make before the guard ran).
 func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	if nbins <= 0 {
+		return []int{}
+	}
 	counts := make([]int, nbins)
-	if hi <= lo || nbins == 0 {
+	if hi <= lo {
 		return counts
 	}
 	w := (hi - lo) / float64(nbins)

@@ -164,6 +164,53 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramDegenerateArgs(t *testing.T) {
+	// A negative bin count used to panic in make([]int, nbins) before
+	// the guard; it must behave like nbins == 0.
+	for _, nbins := range []int{0, -1, -100} {
+		if counts := Histogram([]float64{1, 2, 3}, 0, 3, nbins); len(counts) != 0 {
+			t.Fatalf("Histogram(nbins=%d) = %v, want empty", nbins, counts)
+		}
+	}
+	// Empty or inverted range: counts stay zero, length preserved.
+	counts := Histogram([]float64{1, 2, 3}, 5, 5, 4)
+	if len(counts) != 4 {
+		t.Fatalf("Histogram(lo=hi) length = %d, want 4", len(counts))
+	}
+	for i, c := range counts {
+		if c != 0 {
+			t.Fatalf("Histogram(lo=hi)[%d] = %d, want 0", i, c)
+		}
+	}
+}
+
+func TestMeanCILevelDomain(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	wantMean := Mean(xs)
+	// Out-of-domain levels: the mean is still reported but the
+	// half-width collapses to 0 instead of ±Inf/NaN (level ≥ 1 used to
+	// reach NormalQuantile with p ≥ 1).
+	for _, level := range []float64{0, -0.5, 1, 1.5, 2} {
+		mean, hw := MeanCI(xs, level)
+		if mean != wantMean {
+			t.Fatalf("MeanCI(level=%g) mean = %g, want %g", level, mean, wantMean)
+		}
+		if hw != 0 {
+			t.Fatalf("MeanCI(level=%g) half-width = %g, want 0", level, hw)
+		}
+	}
+	// In-domain level still produces a finite positive half-width.
+	if _, hw := MeanCI(xs, 0.95); !(hw > 0) || math.IsInf(hw, 0) || math.IsNaN(hw) {
+		t.Fatalf("MeanCI(0.95) half-width = %g, want finite > 0", hw)
+	}
+	// Wider confidence demands a wider interval.
+	_, hw90 := MeanCI(xs, 0.90)
+	_, hw99 := MeanCI(xs, 0.99)
+	if !(hw99 > hw90) {
+		t.Fatalf("half-width at 0.99 (%g) not wider than at 0.90 (%g)", hw99, hw90)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s, err := Summarize([]float64{1, 2, 3, 4, 5})
 	if err != nil {

@@ -2,9 +2,14 @@ package modeldata
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"time"
 
+	"modeldata/internal/engine"
 	"modeldata/internal/experiments"
+	"modeldata/internal/mcdb"
+	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 )
 
@@ -29,6 +34,45 @@ type Stats struct {
 	BackoffTime         time.Duration
 	Elapsed             time.Duration
 	SamplesPerSec       float64
+
+	// Engine activity attributed to this run. The relational engine's
+	// query paths carry no context, so these come from diffing the
+	// process-global registry (obs.Default) around the run; concurrent
+	// Runs in one process see each other's engine activity here.
+	RowsScanned        int64
+	ColumnarQueries    int64
+	ColumnarFallbacks  int64
+	RealizeCacheHits   int64
+	RealizeCacheMisses int64
+
+	// Metrics is the full per-run metric snapshot (every counter, gauge,
+	// and histogram reported during the run, merged with the engine's
+	// global-registry delta), keyed by the DESIGN.md §8 metric names.
+	Metrics obs.Snapshot
+}
+
+// Report renders the stats as a human-readable multi-line run report.
+func (s Stats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run report\n")
+	fmt.Fprintf(&b, "  elapsed          %s\n", s.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  iterations       %d (%.4g/s)\n", s.Iterations, s.SamplesPerSec)
+	fmt.Fprintf(&b, "  rows scanned     %d\n", s.RowsScanned)
+	fmt.Fprintf(&b, "  columnar path    %d queries, %d fallbacks to rows\n", s.ColumnarQueries, s.ColumnarFallbacks)
+	fmt.Fprintf(&b, "  realize cache    %d hits, %d misses\n", s.RealizeCacheHits, s.RealizeCacheMisses)
+	fmt.Fprintf(&b, "  shuffle          %d bytes\n", s.ShuffleBytes)
+	fmt.Fprintf(&b, "  task attempts    %d (%d retries, backoff %s)\n",
+		s.TaskAttempts, s.Retries, s.BackoffTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  speculation      %d launched, %d won\n", s.SpeculativeLaunches, s.SpeculativeWins)
+	if len(s.Metrics.Counters)+len(s.Metrics.Gauges)+len(s.Metrics.Histograms) > 0 {
+		b.WriteString("  metrics:\n")
+		for _, line := range strings.Split(s.Metrics.String(), "\n") {
+			if line != "" {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+		}
+	}
+	return b.String()
 }
 
 // config collects the options applied to one Run.
@@ -39,6 +83,9 @@ type config struct {
 	stats      *Stats
 	maxRetries int
 	specFactor float64
+	tracer     *obs.Tracer
+	chaosProb  float64
+	chaosSeed  uint64
 }
 
 // Option configures a Run call.
@@ -69,6 +116,25 @@ func WithProgress(fn func(done, total int)) Option {
 // when it returns.
 func WithStats(dst *Stats) Option {
 	return func(c *config) { c.stats = dst }
+}
+
+// WithTracer records a hierarchical span for every traced operation of
+// the run (experiment → Monte Carlo loops → MapReduce stages → task
+// attempts) into tr. After Run returns, tr.Snapshot() holds the span
+// tree and tr.WriteChromeTraceFile exports it for chrome://tracing /
+// Perfetto. Tracing never changes the numbers produced — spans carry
+// wall-clock timing only.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
+// WithChaos installs a deterministic fault injector that panics each
+// task attempt independently with probability prob, derived from the
+// attempt's (stage, index, attempt) coordinates and seed. Combined with
+// WithRetries it exercises the fault-tolerance path: a surviving run is
+// bit-identical to a failure-free one. Zero prob is a no-op.
+func WithChaos(prob float64, seed uint64) Option {
+	return func(c *config) { c.chaosProb, c.chaosSeed = prob, seed }
 }
 
 // WithRetries grants every task in the run (MapReduce map/reduce tasks,
@@ -112,14 +178,30 @@ func Run(ctx context.Context, id string, opts ...Option) (ExperimentResult, erro
 			SpeculativeFactor: cfg.specFactor,
 		})
 	}
+	if cfg.chaosProb > 0 {
+		ctx = parallel.WithFaultInjector(ctx, parallel.PanicInjector{
+			Prob: cfg.chaosProb,
+			Seed: cfg.chaosSeed,
+		})
+	}
+	if cfg.tracer != nil {
+		ctx = obs.WithTracer(ctx, cfg.tracer)
+	}
 	var ps *parallel.Stats
+	var global0 obs.Snapshot
 	if cfg.stats != nil {
 		ps = parallel.NewStats()
 		ctx = parallel.WithStats(ctx, ps)
+		global0 = obs.Default().Snapshot()
 	}
 	res, err := experiments.Run(ctx, id, cfg.seed)
 	if cfg.stats != nil {
 		snap := ps.Snapshot()
+		// Engine metrics report into the process-global registry (the
+		// query paths carry no context); the delta around the run
+		// attributes them to it.
+		delta := obs.Default().Snapshot().Sub(global0)
+		run := ps.Registry().Snapshot()
 		*cfg.stats = Stats{
 			Iterations:          snap.Iterations,
 			ShuffleBytes:        snap.ShuffleBytes,
@@ -130,6 +212,12 @@ func Run(ctx context.Context, id string, opts ...Option) (ExperimentResult, erro
 			BackoffTime:         snap.BackoffTime,
 			Elapsed:             snap.Elapsed,
 			SamplesPerSec:       snap.SamplesPerSec,
+			RowsScanned:         delta.Counters[engine.MetricRowsScanned],
+			ColumnarQueries:     delta.Counters[engine.MetricColQueries],
+			ColumnarFallbacks:   delta.Counters[engine.MetricColFallback],
+			RealizeCacheHits:    run.Counters[mcdb.MetricRealizeCacheHits],
+			RealizeCacheMisses:  run.Counters[mcdb.MetricRealizeCacheMisses],
+			Metrics:             run.Merge(delta),
 		}
 	}
 	return res, err
