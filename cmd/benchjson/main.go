@@ -1,8 +1,10 @@
 // Command benchjson runs the engine operator micro-benchmarks (row vs
-// columnar, via internal/enginebench) plus representative E-experiment
-// end-to-end runs, and records ns/op, bytes/op, and allocs/op as JSON —
-// the repository's perf trajectory file (BENCH_4.json). A non-blocking
-// CI job runs the same workloads once as a smoke check.
+// columnar, via internal/enginebench), the query-planner benchmarks
+// (planner-off written join order vs planner-on cost-based order),
+// plus representative E-experiment end-to-end runs, and records ns/op,
+// bytes/op, and allocs/op as JSON — the repository's perf trajectory
+// file (BENCH_6.json). A non-blocking CI job runs the same workloads
+// once as a smoke check.
 //
 // Timing comes from testing.Benchmark, so numbers are directly
 // comparable with `go test -bench -benchmem ./internal/engine/`.
@@ -25,7 +27,7 @@ type measurement struct {
 	Name        string  `json:"name"`
 	Op          string  `json:"op,omitempty"`
 	Rows        int     `json:"rows,omitempty"`
-	Variant     string  `json:"variant,omitempty"` // "row" or "col" for engine workloads
+	Variant     string  `json:"variant,omitempty"` // "row"/"col" for operators, "off"/"on" for planner
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -40,9 +42,20 @@ type speedup struct {
 	AllocsRatio float64 `json:"allocs_ratio"` // rowAllocs / colAllocs
 }
 
+// plannerSpeedup pairs the planner-off and planner-on timings of one
+// join-heavy query.
+type plannerSpeedup struct {
+	Op      string  `json:"op"`
+	Rows    int     `json:"rows"`
+	OffNs   float64 `json:"off_ns_per_op"`
+	OnNs    float64 `json:"on_ns_per_op"`
+	Speedup float64 `json:"speedup"` // offNs / onNs
+}
+
 type report struct {
-	Benchmarks []measurement `json:"benchmarks"`
-	Speedups   []speedup     `json:"speedups"`
+	Benchmarks []measurement    `json:"benchmarks"`
+	Speedups   []speedup        `json:"speedups"`
+	Planner    []plannerSpeedup `json:"planner"`
 }
 
 func measure(name, op string, rows int, variant string, fn func()) measurement {
@@ -65,7 +78,7 @@ func measure(name, op string, rows int, variant string, fn func()) measurement {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_4.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_6.json", "output path for the JSON report")
 	seed := flag.Uint64("seed", 1, "seed for the E-experiment runs")
 	skipExperiments := flag.Bool("engine-only", false, "skip the E-experiment end-to-end benchmarks")
 	flag.Parse()
@@ -82,6 +95,20 @@ func main() {
 		rep.Speedups = append(rep.Speedups, sp)
 		fmt.Fprintf(os.Stderr, "%-9s rows=%-7d %10.0f ns/op (row) %10.0f ns/op (col)  %.1fx\n",
 			w.Op, w.Rows, mr.NsPerOp, mc.NsPerOp, sp.Speedup)
+	}
+
+	for _, w := range enginebench.PlannerWorkloads() {
+		base := "BenchmarkPlanner" + w.Op + "/rows=" + fmt.Sprint(w.Rows)
+		mo := measure(base+"/off", w.Op, w.Rows, "off", w.Off)
+		mn := measure(base+"/on", w.Op, w.Rows, "on", w.On)
+		rep.Benchmarks = append(rep.Benchmarks, mo, mn)
+		rep.Planner = append(rep.Planner, plannerSpeedup{
+			Op: w.Op, Rows: w.Rows,
+			OffNs: mo.NsPerOp, OnNs: mn.NsPerOp,
+			Speedup: mo.NsPerOp / mn.NsPerOp,
+		})
+		fmt.Fprintf(os.Stderr, "%-13s rows=%-7d %10.0f ns/op (off) %10.0f ns/op (on)   %.1fx\n",
+			w.Op, w.Rows, mo.NsPerOp, mn.NsPerOp, mo.NsPerOp/mn.NsPerOp)
 	}
 
 	if !*skipExperiments {

@@ -6,14 +6,19 @@
 // Usage:
 //
 //	mcdbcli [-patients 100] [-iters 1000] [-seed 1] [-threshold 140] [-p 0.99]
+//	mcdbcli -sql "SELECT AVG(sbp_data.sbp) FROM sbp_data JOIN patients ON sbp_data.pid = patients.pid"
+//	mcdbcli -sql "..." -explain
 //
 // It prints the estimated distribution of mean systolic blood pressure,
 // the probability that an individual patient exceeds the threshold, and
 // the MCDB-R style extreme quantile of the per-iteration hypertensive
-// count.
+// count. With -sql, it instead runs the given scalar SELECT once per
+// Monte Carlo instantiation and summarizes the sample distribution;
+// -explain additionally prints the cost-based query plan.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,11 +36,35 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	threshold := flag.Float64("threshold", 140, "hypertension threshold (mmHg)")
 	p := flag.Float64("p", 0.99, "extreme quantile level for the risk query")
+	sql := flag.String("sql", "", "scalar SELECT to run once per Monte Carlo instantiation")
+	explain := flag.Bool("explain", false, "with -sql: print the cost-based query plan")
 	flag.Parse()
 
 	db, err := experiments.SBPDatabase(*patients)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *sql != "" {
+		s := db.NewSession()
+		if *explain {
+			text, _, err := s.ExplainSQL(*sql)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(text)
+		}
+		samples, err := s.ExecSQL(context.Background(), *sql,
+			mcdb.ExecOptions{Iterations: *iters, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := mcdb.Summarize(samples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query result over %d instantiations: %v\n", *iters, est)
+		return
 	}
 	bundles, err := db.InstantiateBundled(*iters, *seed)
 	if err != nil {

@@ -8,6 +8,11 @@
 //	sqlcli [-people 2000] [-days 30] [-seed 1]
 //	> SELECT state, COUNT(*) AS n FROM person GROUP BY state;
 //	> SELECT pid FROM person WHERE age <= 4 AND state = 'I' LIMIT 5;
+//	> EXPLAIN SELECT p.age FROM person JOIN contact ON person.pid = contact.src;
+//
+// EXPLAIN [JSON] SELECT renders the cost-based query plan (join
+// order, build sides, pushed filters, cardinality estimates) without
+// running the statement.
 package main
 
 import (
@@ -48,7 +53,7 @@ func main() {
 	}
 	db := sim.Database()
 	fmt.Printf("epidemic paused at day %d over %d people; tables: person, contact\n", *days, *people)
-	fmt.Println(`type SQL statements (end with newline), or \q to quit`)
+	fmt.Println(`type SQL statements (end with newline), EXPLAIN [JSON] SELECT ... to show plans, or \q to quit`)
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -298,33 +298,24 @@ func gather(cv colvec, typ Type, idx []int32) colvec {
 	return out
 }
 
-// EquiJoin computes the hash equi-join of b and r on leftCol =
-// rightCol. The hash table is built on the smaller input (ties build on
-// the right, matching the row path so emission order is identical) from
-// pre-encoded uint64 key codes; no per-row key strings are constructed.
-// Output columns are prefixed with the block names.
-func (b *ColumnBlock) EquiJoin(r *ColumnBlock, leftCol, rightCol string, sc *Scratch) (*ColumnBlock, error) {
-	sc = sc.orNew()
-	l := b
-	li, err := l.ColIndex(leftCol)
-	if err != nil {
-		return nil, fmt.Errorf("join left: %w", err)
-	}
-	ri, err := r.ColIndex(rightCol)
-	if err != nil {
-		return nil, fmt.Errorf("join right: %w", err)
-	}
-	// Build on the smaller side, exactly as the row path chooses it.
+// equiJoinIdx computes the matching (left, right) physical row-index
+// pairs of the hash equi-join of l and r on columns li and ri.
+// buildLeft selects the hash-build side explicitly; emission order is
+// probe order with build-side insertion order within a key, so the
+// build side fully determines output order. The returned slices come
+// from sc's index buffers — callers must hand them back with putIdx
+// once consumed. sc must be non-nil.
+func equiJoinIdx(l, r *ColumnBlock, li, ri int, buildLeft bool, sc *Scratch) (lidx, ridx []int32) {
 	build, probe := r, l
 	bi, pi := ri, li
 	swapped := false
-	if l.Len() < r.Len() {
+	if buildLeft {
 		build, probe = l, r
 		bi, pi = li, ri
 		swapped = true
 	}
 
-	lidx, ridx := sc.idxBuf(0), sc.idxBuf(1)
+	lidx, ridx = sc.idxBuf(0), sc.idxBuf(1)
 	emit := func(pPhys, bPhys int32) {
 		if swapped {
 			lidx = append(lidx, bPhys)
@@ -386,7 +377,28 @@ func (b *ColumnBlock) EquiJoin(r *ColumnBlock, leftCol, rightCol string, sc *Scr
 		}
 	}
 	// Mismatched key kinds (e.g. string vs numeric) never join; the
-	// output is empty but keeps the joined schema.
+	// output stays empty.
+	return lidx, ridx
+}
+
+// EquiJoin computes the hash equi-join of b and r on leftCol =
+// rightCol. The hash table is built on the smaller input (ties build on
+// the right, matching the row path so emission order is identical) from
+// pre-encoded uint64 key codes; no per-row key strings are constructed.
+// Output columns are prefixed with the block names.
+func (b *ColumnBlock) EquiJoin(r *ColumnBlock, leftCol, rightCol string, sc *Scratch) (*ColumnBlock, error) {
+	sc = sc.orNew()
+	l := b
+	li, err := l.ColIndex(leftCol)
+	if err != nil {
+		return nil, fmt.Errorf("join left: %w", err)
+	}
+	ri, err := r.ColIndex(rightCol)
+	if err != nil {
+		return nil, fmt.Errorf("join right: %w", err)
+	}
+	// Build on the smaller side, exactly as the row path chooses it.
+	lidx, ridx := equiJoinIdx(l, r, li, ri, l.Len() < r.Len(), sc)
 
 	out := &ColumnBlock{
 		Name:   l.Name + "_" + r.Name,

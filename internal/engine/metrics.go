@@ -28,12 +28,39 @@ const (
 	// MetricRowsScanned counts rows examined by scan operators
 	// (row-path Select and columnar Where* filters).
 	MetricRowsScanned = "engine.rows_scanned"
+
+	// MetricPlanPlanned counts queries whose join region executed from
+	// an optimized plan; MetricPlanDirect counts executions that
+	// replayed as written (planner off, no joins, or fallback).
+	MetricPlanPlanned = "engine.plan.planned"
+	MetricPlanDirect  = "engine.plan.direct"
+	// MetricPlanReordered counts planned executions whose join order
+	// differed from the written order.
+	MetricPlanReordered = "engine.plan.reordered"
+	// MetricPlanPushdown counts filters evaluated below a join they
+	// were written above.
+	MetricPlanPushdown = "engine.plan.pushdown"
+	// MetricPlanCanonSorts counts the order-restoring sorts reordered
+	// executions pay to stay byte-identical to the written path.
+	MetricPlanCanonSorts = "engine.plan.canon_sorts"
+	// MetricPlanCacheHits / Misses count join-order cache consultations
+	// by Prepared statements.
+	MetricPlanCacheHits   = "engine.plan.cache_hits"
+	MetricPlanCacheMisses = "engine.plan.cache_misses"
 )
 
 var (
 	colFallbacks = obs.Default().Counter(MetricColFallback)
 	colQueries   = obs.Default().Counter(MetricColQueries)
 	rowsScanned  = obs.Default().Counter(MetricRowsScanned)
+
+	planPlanned     = obs.Default().Counter(MetricPlanPlanned)
+	planDirect      = obs.Default().Counter(MetricPlanDirect)
+	planReordered   = obs.Default().Counter(MetricPlanReordered)
+	planPushdown    = obs.Default().Counter(MetricPlanPushdown)
+	planCanonSorts  = obs.Default().Counter(MetricPlanCanonSorts)
+	planCacheHits   = obs.Default().Counter(MetricPlanCacheHits)
+	planCacheMisses = obs.Default().Counter(MetricPlanCacheMisses)
 
 	fallbackLogOnce sync.Once
 )

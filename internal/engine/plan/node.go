@@ -1,0 +1,397 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// Node kinds.
+const (
+	KindScan      = "scan"
+	KindFilter    = "filter"
+	KindProject   = "project"
+	KindJoin      = "join"
+	KindAggregate = "aggregate"
+	KindSort      = "sort"
+	KindDistinct  = "distinct"
+	KindLimit     = "limit"
+	// KindOpaque marks an operation the planner cannot see through
+	// (a func(Row) predicate or a computed column); it is a barrier
+	// for every rewrite rule.
+	KindOpaque = "opaque"
+)
+
+// AggSpec describes one aggregate output of an Aggregate node.
+type AggSpec struct {
+	Fn  string `json:"fn"`
+	Col string `json:"col,omitempty"`
+	As  string `json:"as,omitempty"`
+}
+
+// Node is one logical plan operator. A single struct (rather than a
+// type per kind) keeps plans trivially serializable and comparable;
+// Kind selects which fields are meaningful:
+//
+//	scan      Table, Alias, Cols, Rows
+//	filter    Input, Pred
+//	project   Input, Cols
+//	join      Left, Right, LeftCol, RightCol, BuildLeft, EstRows
+//	aggregate Input, Keys, Aggs
+//	sort      Input, Col, Desc
+//	distinct  Input
+//	limit     Input, N
+//	opaque    Input, Op
+type Node struct {
+	Kind string
+
+	Table string
+	Alias string
+	Cols  []string
+	Rows  int64
+
+	Pred Expr
+
+	LeftCol   string
+	RightCol  string
+	BuildLeft bool
+	EstRows   float64
+
+	Keys []string
+	Aggs []AggSpec
+
+	Col  string
+	Desc bool
+
+	N int
+
+	Op string
+
+	Input *Node
+	Left  *Node
+	Right *Node
+}
+
+// Tree is a complete logical plan with rendering helpers.
+type Tree struct {
+	Root *Node
+}
+
+// Text renders the plan as a deterministic indented tree, child nodes
+// two spaces deeper than their parent, join children left before right.
+func (t *Tree) Text() string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.line())
+		b.WriteByte('\n')
+		if n.Input != nil {
+			walk(n.Input, depth+1)
+		}
+		if n.Left != nil {
+			walk(n.Left, depth+1)
+		}
+		if n.Right != nil {
+			walk(n.Right, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+	return b.String()
+}
+
+// line renders one node without its children.
+func (n *Node) line() string {
+	switch n.Kind {
+	case KindScan:
+		s := "scan " + n.Alias
+		if n.Table != "" && n.Table != n.Alias {
+			s += " (" + n.Table + ")"
+		}
+		s += " rows=" + strconv.FormatInt(n.Rows, 10)
+		if len(n.Cols) > 0 {
+			s += " cols=[" + strings.Join(n.Cols, ",") + "]"
+		}
+		return s
+	case KindFilter:
+		return "filter " + n.Pred.String()
+	case KindProject:
+		return "project [" + strings.Join(n.Cols, ",") + "]"
+	case KindJoin:
+		side := "right"
+		if n.BuildLeft {
+			side = "left"
+		}
+		return fmt.Sprintf("join %s = %s build=%s est_rows=%s",
+			n.LeftCol, n.RightCol, side, formatEst(n.EstRows))
+	case KindAggregate:
+		var parts []string
+		for _, a := range n.Aggs {
+			p := a.Fn
+			if a.Col != "" {
+				p += "(" + a.Col + ")"
+			} else {
+				p += "(*)"
+			}
+			if a.As != "" {
+				p += " as " + a.As
+			}
+			parts = append(parts, p)
+		}
+		return "aggregate keys=[" + strings.Join(n.Keys, ",") + "] aggs=[" + strings.Join(parts, ", ") + "]"
+	case KindSort:
+		dir := "asc"
+		if n.Desc {
+			dir = "desc"
+		}
+		return "sort " + n.Col + " " + dir
+	case KindDistinct:
+		return "distinct"
+	case KindLimit:
+		return "limit " + strconv.Itoa(n.N)
+	case KindOpaque:
+		return "opaque " + n.Op
+	}
+	return n.Kind
+}
+
+// formatEst renders estimated cardinalities compactly and stably.
+func formatEst(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// JSON renders the plan as its canonical JSON form.
+func (t *Tree) JSON() ([]byte, error) { return json.Marshal(t.Root) }
+
+// FromJSON parses a plan previously rendered by JSON.
+func FromJSON(data []byte) (*Tree, error) {
+	var n Node
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, err
+	}
+	return &Tree{Root: &n}, nil
+}
+
+// Fingerprint returns a short stable hash of the plan's JSON form,
+// usable as a cache key.
+func (t *Tree) Fingerprint() string {
+	data, err := t.JSON()
+	if err != nil {
+		return "plan-unencodable"
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// --- JSON encoding ---
+//
+// Expr is an interface, so Node and Expr marshal through kind-tagged
+// mirror structs. Literal payloads are rendered as strings (via
+// Lit.String-compatible formatting without quotes), which keeps NaN
+// and ±Inf floats representable in JSON.
+
+type jsonLit struct {
+	Kind string `json:"kind"`
+	V    string `json:"v"`
+}
+
+type jsonExpr struct {
+	Kind string    `json:"kind"` // cmp, between, and, or, not, colpred
+	Op   string    `json:"op,omitempty"`
+	Col  string    `json:"col,omitempty"`
+	Val  *jsonLit  `json:"val,omitempty"`
+	Lo   *jsonLit  `json:"lo,omitempty"`
+	Hi   *jsonLit  `json:"hi,omitempty"`
+	Fn   string    `json:"fn,omitempty"`
+	Ref  int       `json:"ref,omitempty"`
+	L    *jsonExpr `json:"l,omitempty"`
+	R    *jsonExpr `json:"r,omitempty"`
+}
+
+func litToJSON(l Lit) *jsonLit {
+	var v string
+	switch l.Kind {
+	case LitInt:
+		v = strconv.FormatInt(l.I, 10)
+	case LitFloat:
+		v = strconv.FormatFloat(l.F, 'g', -1, 64)
+	case LitString:
+		v = l.S
+	case LitBool:
+		v = strconv.FormatBool(l.B)
+	}
+	return &jsonLit{Kind: l.Kind.String(), V: v}
+}
+
+func litFromJSON(j *jsonLit) (Lit, error) {
+	if j == nil {
+		return Lit{}, fmt.Errorf("plan: missing literal")
+	}
+	switch j.Kind {
+	case "int":
+		i, err := strconv.ParseInt(j.V, 10, 64)
+		if err != nil {
+			return Lit{}, fmt.Errorf("plan: bad int literal %q", j.V)
+		}
+		return IntLit(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(j.V, 64)
+		if err != nil {
+			return Lit{}, fmt.Errorf("plan: bad float literal %q", j.V)
+		}
+		return FloatLit(f), nil
+	case "string":
+		return StringLit(j.V), nil
+	case "bool":
+		return BoolLit(j.V == "true"), nil
+	}
+	return Lit{}, fmt.Errorf("plan: unknown literal kind %q", j.Kind)
+}
+
+func exprToJSON(e Expr) *jsonExpr {
+	switch t := e.(type) {
+	case Cmp:
+		return &jsonExpr{Kind: "cmp", Op: t.Op, Col: t.Col, Val: litToJSON(t.Val)}
+	case Between:
+		return &jsonExpr{Kind: "between", Col: t.Col, Lo: litToJSON(t.Lo), Hi: litToJSON(t.Hi)}
+	case And:
+		return &jsonExpr{Kind: "and", L: exprToJSON(t.L), R: exprToJSON(t.R)}
+	case Or:
+		return &jsonExpr{Kind: "or", L: exprToJSON(t.L), R: exprToJSON(t.R)}
+	case Not:
+		return &jsonExpr{Kind: "not", L: exprToJSON(t.E)}
+	case ColPred:
+		return &jsonExpr{Kind: "colpred", Col: t.Col, Fn: t.Fn, Ref: t.Ref}
+	}
+	return nil
+}
+
+func exprFromJSON(j *jsonExpr) (Expr, error) {
+	if j == nil {
+		return nil, nil
+	}
+	switch j.Kind {
+	case "cmp":
+		v, err := litFromJSON(j.Val)
+		if err != nil {
+			return nil, err
+		}
+		return Cmp{Op: j.Op, Col: j.Col, Val: v}, nil
+	case "between":
+		lo, err := litFromJSON(j.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := litFromJSON(j.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return Between{Col: j.Col, Lo: lo, Hi: hi}, nil
+	case "and", "or", "not":
+		l, err := exprFromJSON(j.L)
+		if err != nil {
+			return nil, err
+		}
+		if j.Kind == "not" {
+			return Not{E: l}, nil
+		}
+		r, err := exprFromJSON(j.R)
+		if err != nil {
+			return nil, err
+		}
+		if j.Kind == "and" {
+			return And{L: l, R: r}, nil
+		}
+		return Or{L: l, R: r}, nil
+	case "colpred":
+		return ColPred{Col: j.Col, Fn: j.Fn, Ref: j.Ref}, nil
+	}
+	return nil, fmt.Errorf("plan: unknown expr kind %q", j.Kind)
+}
+
+type jsonNode struct {
+	Kind      string    `json:"kind"`
+	Table     string    `json:"table,omitempty"`
+	Alias     string    `json:"alias,omitempty"`
+	Cols      []string  `json:"cols,omitempty"`
+	Rows      int64     `json:"rows,omitempty"`
+	Pred      *jsonExpr `json:"pred,omitempty"`
+	LeftCol   string    `json:"left_col,omitempty"`
+	RightCol  string    `json:"right_col,omitempty"`
+	BuildLeft bool      `json:"build_left,omitempty"`
+	EstRows   float64   `json:"est_rows,omitempty"`
+	Keys      []string  `json:"keys,omitempty"`
+	Aggs      []AggSpec `json:"aggs,omitempty"`
+	Col       string    `json:"col,omitempty"`
+	Desc      bool      `json:"desc,omitempty"`
+	N         int       `json:"n,omitempty"`
+	Op        string    `json:"op,omitempty"`
+	Input     *jsonNode `json:"input,omitempty"`
+	Left      *jsonNode `json:"left,omitempty"`
+	Right     *jsonNode `json:"right,omitempty"`
+}
+
+func nodeToJSON(n *Node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	return &jsonNode{
+		Kind: n.Kind, Table: n.Table, Alias: n.Alias, Cols: n.Cols, Rows: n.Rows,
+		Pred: exprToJSON(n.Pred), LeftCol: n.LeftCol, RightCol: n.RightCol,
+		BuildLeft: n.BuildLeft, EstRows: n.EstRows, Keys: n.Keys, Aggs: n.Aggs,
+		Col: n.Col, Desc: n.Desc, N: n.N, Op: n.Op,
+		Input: nodeToJSON(n.Input), Left: nodeToJSON(n.Left), Right: nodeToJSON(n.Right),
+	}
+}
+
+func nodeFromJSON(j *jsonNode) (*Node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	pred, err := exprFromJSON(j.Pred)
+	if err != nil {
+		return nil, err
+	}
+	input, err := nodeFromJSON(j.Input)
+	if err != nil {
+		return nil, err
+	}
+	left, err := nodeFromJSON(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := nodeFromJSON(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		Kind: j.Kind, Table: j.Table, Alias: j.Alias, Cols: j.Cols, Rows: j.Rows,
+		Pred: pred, LeftCol: j.LeftCol, RightCol: j.RightCol,
+		BuildLeft: j.BuildLeft, EstRows: j.EstRows, Keys: j.Keys, Aggs: j.Aggs,
+		Col: j.Col, Desc: j.Desc, N: j.N, Op: j.Op,
+		Input: input, Left: left, Right: right,
+	}, nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (n *Node) MarshalJSON() ([]byte, error) { return json.Marshal(nodeToJSON(n)) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (n *Node) UnmarshalJSON(data []byte) error {
+	var j jsonNode
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	dn, err := nodeFromJSON(&j)
+	if err != nil {
+		return err
+	}
+	*n = *dn
+	return nil
+}

@@ -1,0 +1,25 @@
+package plan
+
+// ColStats summarizes one column of one scan for the cost model. NDV
+// is the (possibly estimated) number of distinct values; Min/Max bound
+// the column's numeric range and are meaningful only when Numeric is
+// true.
+type ColStats struct {
+	NDV     int64
+	Min     float64
+	Max     float64
+	Numeric bool
+}
+
+// Catalog supplies statistics to the optimizer. Implementations live
+// in the physical layer (harvested from ColumnBlocks); the plan
+// package only consumes them. ColStats reports statistics for column
+// col of the region's scan with index scan, and whether any are
+// available. Implementations must be deterministic: equal inputs give
+// equal statistics.
+type Catalog interface {
+	// ScanRows returns the row count of the scan.
+	ScanRows(scan int) int64
+	// ColStats returns column statistics, if known.
+	ColStats(scan int, col string) (ColStats, bool)
+}

@@ -2,10 +2,17 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
+
+	"modeldata/internal/engine/plan"
 )
 
-// Query is a fluent relational query builder over tables. Operations
-// are applied eagerly; the first error is latched and returned by Run.
+// Query is a fluent relational query builder over tables. Builder
+// methods record operations; Run (or Count/ScalarFloat) executes them.
+// Errors are detected eagerly — each method validates its arguments
+// against the query's schema as it is called, and the first error is
+// latched and returned by Run — so error behavior is identical to the
+// historical eager builder.
 //
 //	q, err := engine.From(people).
 //		WhereFloat("age", func(a float64) bool { return a < 5 }).
@@ -19,86 +26,425 @@ import (
 //	ids := base.Select("pid")     // does not affect base
 //	n, _ := base.Count()          // still the un-projected prefix
 //
-// Execution is columnar: the first vectorizable operation decodes the
-// table into a ColumnBlock (see column.go) and subsequent operations
-// run over column vectors, sharing the scratch buffers of the chain;
-// Run materializes rows again. Tables whose values cannot be decoded
-// into uniform columns fall back to the row operators — both paths
-// produce byte-identical results (golden_test.go), so the choice is
-// invisible. Because a chain reuses one Scratch, branches of a single
-// chain must not be advanced concurrently; build separate chains with
-// From for concurrent query execution.
+// Execution: when the planner is enabled (the default), Run lowers the
+// query's scan/filter/join prefix into a logical plan
+// (internal/engine/plan), pushes filters below joins, picks a join
+// order and build sides by estimated cardinality, and executes the
+// optimized plan over the columnar operators; the rest of the query
+// replays as written. The planner never changes results: planner-on
+// output is byte-identical to planner-off output, which in turn is the
+// historical columnar-with-row-fallback execution (golden_test.go and
+// planner_test.go enforce both equalities). Explain returns the
+// optimized plan without executing it. Each Run builds private
+// execution state, so queries and their branches may run concurrently.
 type Query struct {
-	t     *Table       // row form; nil when b carries the state
-	b     *ColumnBlock // columnar form; nil when t carries the state
-	sc    *Scratch     // shared per-chain operator scratch
-	noCol bool         // latched: table failed columnar decode, stay on rows
-	err   error
+	src  *Table
+	ops  []*qop
+	err  error
+	mode plannerMode
+
+	// cache, when set by Prepared, memoizes the join-order choice
+	// across executions of the same statement.
+	cache *Prepared
+
+	// name and schema describe the query's current result shape,
+	// maintained eagerly by every builder method.
+	name   string
+	schema Schema
 }
+
+// opKind enumerates recorded operations.
+type opKind uint8
+
+const (
+	opWhereRow opKind = iota // opaque row predicate
+	opFilter                 // inspectable plan.Expr filter
+	opSelect
+	opRename
+	opJoin
+	opGroupBy
+	opOrderBy
+	opDistinct
+	opLimit
+	opExtend
+)
+
+// qop is one recorded operation, together with the eagerly computed
+// name and schema of the query state after it.
+type qop struct {
+	kind   opKind
+	name   string
+	schema Schema
+
+	pred Predicate // opWhereRow
+
+	expr plan.Expr          // opFilter
+	ffn  func(float64) bool // opFilter: WhereFloat closure (ColPred ref target)
+	sfn  func(string) bool  // opFilter: WhereString closure
+
+	cols []string // opSelect columns, opGroupBy keys
+
+	oldName, newName string // opRename
+
+	joinT        *Table // opJoin
+	joinL, joinR string
+	// joinFlat keeps left column names un-prefixed (SQL multi-join
+	// naming); the default prefixes both sides, as the historical
+	// builder always did.
+	joinFlat bool
+
+	aggs []Aggregate // opGroupBy
+
+	col  string // opOrderBy
+	desc bool
+
+	n int // opLimit
+
+	extName string // opExtend
+	extType Type
+	extFn   func(Row) Value
+}
+
+// --- planner mode ---
+
+type plannerMode uint8
+
+const (
+	plannerDefault plannerMode = iota
+	plannerForceOn
+	plannerForceOff
+)
+
+// plannerDisabled is the process-wide default, inverted so the zero
+// value means "planner on".
+var plannerDisabled atomic.Bool
+
+// SetPlannerDefault sets the process-wide planner default (it starts
+// enabled) and returns the previous setting. Per-query WithPlanner
+// overrides it. The planner affects plan choice only, never results.
+func SetPlannerDefault(on bool) bool {
+	return !plannerDisabled.Swap(!on)
+}
+
+// WithPlanner forces the planner on or off for this query, overriding
+// the process default.
+func (q *Query) WithPlanner(on bool) *Query {
+	nq := *q
+	if on {
+		nq.mode = plannerForceOn
+	} else {
+		nq.mode = plannerForceOff
+	}
+	return &nq
+}
+
+func (q *Query) plannerOn() bool {
+	switch q.mode {
+	case plannerForceOn:
+		return true
+	case plannerForceOff:
+		return false
+	}
+	return !plannerDisabled.Load()
+}
+
+// --- building ---
 
 // From starts a query over t.
-func From(t *Table) *Query { return &Query{t: t, sc: NewScratch()} }
-
-// branch returns a copy of q for a builder method to advance, so the
-// receiver stays reusable as a shared prefix.
-func (q *Query) branch() *Query {
-	c := *q
-	return &c
+func From(t *Table) *Query {
+	return &Query{src: t, name: t.Name, schema: t.Schema}
 }
 
-// table returns the row form of the current state, materializing the
-// block if needed.
-func (q *Query) table() *Table {
-	if q.t != nil {
-		return q.t
-	}
-	return q.b.ToTable()
-}
-
-// block returns the columnar form of the current state, decoding the
-// table on first use, or nil when the data cannot be decoded (the
-// caller then uses the row path). Decode failure is latched so a chain
-// of operations on an undecodable table converts at most once.
-func (q *Query) block() *ColumnBlock {
-	if q.b != nil {
-		return q.b
-	}
-	if q.noCol || q.t == nil {
-		return nil
-	}
-	b, err := FromTable(q.t)
-	if err != nil {
-		// Silent before the observability layer: latching to the row
-		// path is correct (both paths agree bit-for-bit) but slow, so
-		// count and log it (metrics.go).
-		noteColFallback(err)
-		q.noCol = true
-		return nil
-	}
-	colQueries.Add(1)
-	q.b = b
-	return b
-}
-
-// advanceBlock moves the query to a new columnar state.
-func (q *Query) advanceBlock(b *ColumnBlock) *Query {
-	nq := q.branch()
-	nq.t, nq.b = nil, b
-	return nq
-}
-
-// advanceTable moves the query to a new row state.
-func (q *Query) advanceTable(t *Table) *Query {
-	nq := q.branch()
-	nq.t, nq.b = t, nil
-	return nq
+// push appends op to a copy of q. The full slice expression pins the
+// shared prefix's capacity so sibling branches never clobber each
+// other's appends.
+func (q *Query) push(op *qop) *Query {
+	nq := *q
+	nq.ops = append(q.ops[:len(q.ops):len(q.ops)], op)
+	nq.name, nq.schema = op.name, op.schema
+	return &nq
 }
 
 // fail latches an error.
 func (q *Query) fail(err error) *Query {
-	nq := q.branch()
+	nq := *q
 	nq.err = err
-	return nq
+	return &nq
+}
+
+// colPredFns implements predFns: it recovers the opaque closures a
+// plan.ColPred references by op index.
+func (q *Query) colPredFns(ref int) (func(float64) bool, func(string) bool) {
+	if ref < 0 || ref >= len(q.ops) {
+		return nil, nil
+	}
+	return q.ops[ref].ffn, q.ops[ref].sfn
+}
+
+// Where keeps rows satisfying pred. The predicate receives whole rows,
+// so it is opaque to the planner and runs on the row path; prefer
+// WhereEq/WhereFloat/WhereString (or WhereExpr) for filters the
+// planner can push down and vectorize.
+func (q *Query) Where(pred Predicate) *Query {
+	if q.err != nil {
+		return q
+	}
+	return q.push(&qop{kind: opWhereRow, pred: pred, name: q.name, schema: q.schema})
+}
+
+// WhereEq keeps rows whose column equals v.
+func (q *Query) WhereEq(col string, v Value) *Query {
+	if q.err != nil {
+		return q
+	}
+	if _, err := q.schema.ColIndex(col); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{
+		kind: opFilter,
+		expr: plan.Cmp{Op: "=", Col: col, Val: litOfValue(v)},
+		name: q.name, schema: q.schema,
+	})
+}
+
+// WhereFloat keeps rows for which pred holds on the numeric column.
+func (q *Query) WhereFloat(col string, pred func(float64) bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	if _, err := q.schema.ColIndex(col); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{
+		kind: opFilter,
+		expr: plan.ColPred{Col: col, Fn: "float", Ref: len(q.ops)},
+		ffn:  pred,
+		name: q.name, schema: q.schema,
+	})
+}
+
+// WhereString keeps rows for which pred holds on the string column.
+func (q *Query) WhereString(col string, pred func(string) bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	if _, err := q.schema.ColIndex(col); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{
+		kind: opFilter,
+		expr: plan.ColPred{Col: col, Fn: "string", Ref: len(q.ops)},
+		sfn:  pred,
+		name: q.name, schema: q.schema,
+	})
+}
+
+// WhereExpr keeps rows satisfying the inspectable expression e —
+// the fully planner-visible filter form: comparisons, BETWEEN, and
+// AND/OR/NOT compositions are pushed below joins and costed.
+// plan.ColPred nodes are rejected; their closures only exist inside
+// queries built through WhereFloat/WhereString.
+func (q *Query) WhereExpr(e plan.Expr) *Query {
+	if q.err != nil {
+		return q
+	}
+	if hasColPred(e) {
+		return q.fail(fmt.Errorf("engine: WhereExpr cannot carry plan.ColPred nodes; use WhereFloat/WhereString"))
+	}
+	if err := validateExprCols(e, q.schema); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{kind: opFilter, expr: e, name: q.name, schema: q.schema})
+}
+
+func hasColPred(e plan.Expr) bool {
+	switch t := e.(type) {
+	case plan.ColPred:
+		return true
+	case plan.And:
+		return hasColPred(t.L) || hasColPred(t.R)
+	case plan.Or:
+		return hasColPred(t.L) || hasColPred(t.R)
+	case plan.Not:
+		return hasColPred(t.E)
+	}
+	return false
+}
+
+// Select projects to the named columns.
+func (q *Query) Select(cols ...string) *Query {
+	if q.err != nil {
+		return q
+	}
+	schema := make(Schema, len(cols))
+	for i, c := range cols {
+		j, err := q.schema.ColIndex(c)
+		if err != nil {
+			return q.fail(err)
+		}
+		schema[i] = q.schema[j]
+	}
+	return q.push(&qop{kind: opSelect, cols: cols, name: q.name, schema: schema})
+}
+
+// Rename renames a column in the current result.
+func (q *Query) Rename(oldName, newName string) *Query {
+	if q.err != nil {
+		return q
+	}
+	j, err := q.schema.ColIndex(oldName)
+	if err != nil {
+		return q.fail(err)
+	}
+	schema := q.schema.Clone()
+	schema[j].Name = newName
+	return q.push(&qop{kind: opRename, oldName: oldName, newName: newName, name: q.name, schema: schema})
+}
+
+// Join equijoins the current result with other on leftCol = rightCol.
+// Output columns are prefixed with the table names on both sides.
+func (q *Query) Join(other *Table, leftCol, rightCol string) *Query {
+	return q.join(other, leftCol, rightCol, false)
+}
+
+// join records an equi-join; flat keeps left names un-prefixed.
+func (q *Query) join(other *Table, leftCol, rightCol string, flat bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	if _, err := q.schema.ColIndex(leftCol); err != nil {
+		return q.fail(fmt.Errorf("join left: %w", err))
+	}
+	if _, err := other.Schema.ColIndex(rightCol); err != nil {
+		return q.fail(fmt.Errorf("join right: %w", err))
+	}
+	schema := make(Schema, 0, len(q.schema)+len(other.Schema))
+	for _, c := range q.schema {
+		name := c.Name
+		if !flat {
+			name = q.name + "." + name
+		}
+		schema = append(schema, Column{Name: name, Type: c.Type})
+	}
+	for _, c := range other.Schema {
+		schema = append(schema, Column{Name: other.Name + "." + c.Name, Type: c.Type})
+	}
+	return q.push(&qop{
+		kind:  opJoin,
+		joinT: other, joinL: leftCol, joinR: rightCol, joinFlat: flat,
+		name: q.name + "_" + other.Name, schema: schema,
+	})
+}
+
+// GroupBy groups by keys and computes aggs.
+func (q *Query) GroupBy(keys []string, aggs ...Aggregate) *Query {
+	if q.err != nil {
+		return q
+	}
+	schema := make(Schema, 0, len(keys)+len(aggs))
+	for _, k := range keys {
+		j, err := q.schema.ColIndex(k)
+		if err != nil {
+			return q.fail(err)
+		}
+		schema = append(schema, Column{Name: k, Type: q.schema[j].Type})
+	}
+	for _, a := range aggs {
+		var colType Type
+		if a.Fn != AggCount {
+			j, err := q.schema.ColIndex(a.Col)
+			if err != nil {
+				return q.fail(err)
+			}
+			colType = q.schema[j].Type
+		}
+		name := a.As
+		if name == "" {
+			name = a.Fn.String() + "_" + a.Col
+		}
+		typ := TypeFloat
+		if a.Fn == AggCount {
+			typ = TypeInt
+		} else if a.Fn == AggMin || a.Fn == AggMax {
+			typ = colType
+		}
+		schema = append(schema, Column{Name: name, Type: typ})
+	}
+	name := q.name + "_group"
+	// NewTable performs the duplicate-column validation the execution
+	// path would, so the error is latched now, not at Run.
+	if _, err := NewTable(name, schema); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{kind: opGroupBy, cols: keys, aggs: aggs, name: name, schema: schema})
+}
+
+// OrderBy sorts by the column.
+func (q *Query) OrderBy(col string, desc bool) *Query {
+	if q.err != nil {
+		return q
+	}
+	if _, err := q.schema.ColIndex(col); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{kind: opOrderBy, col: col, desc: desc, name: q.name, schema: q.schema})
+}
+
+// Distinct removes duplicate rows.
+func (q *Query) Distinct() *Query {
+	if q.err != nil {
+		return q
+	}
+	return q.push(&qop{kind: opDistinct, name: q.name, schema: q.schema})
+}
+
+// Limit truncates to n rows.
+func (q *Query) Limit(n int) *Query {
+	if q.err != nil {
+		return q
+	}
+	return q.push(&qop{kind: opLimit, n: n, name: q.name, schema: q.schema})
+}
+
+// Extend appends a computed column. The callback receives whole rows,
+// so this operation is opaque to the planner and runs on the row path.
+func (q *Query) Extend(name string, typ Type, f func(Row) Value) *Query {
+	if q.err != nil {
+		return q
+	}
+	schema := append(q.schema.Clone(), Column{Name: name, Type: typ})
+	if err := schema.Validate(); err != nil {
+		return q.fail(err)
+	}
+	return q.push(&qop{kind: opExtend, extName: name, extType: typ, extFn: f, name: q.name, schema: schema})
+}
+
+// --- execution ---
+
+// exec runs the recorded operations and returns the final execution
+// state. The planner, when enabled, executes the leading
+// scan/filter/join region from its optimized plan; everything else
+// (and everything, when the planner is off or the region cannot be
+// planned) replays through the chain, which is the historical eager
+// execution verbatim.
+func (q *Query) exec() (*chain, error) {
+	ch := &chain{t: q.src, sc: NewScratch()}
+	start := 0
+	if q.plannerOn() {
+		if n, handled := q.planRegion(ch); handled {
+			start = n
+		} else {
+			planDirect.Add(1)
+		}
+	} else {
+		planDirect.Add(1)
+	}
+	for _, op := range q.ops[start:] {
+		if err := ch.apply(op, q); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
 }
 
 // Run returns the result table or the first error encountered.
@@ -106,7 +452,11 @@ func (q *Query) Run() (*Table, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
-	return q.table(), nil
+	ch, err := q.exec()
+	if err != nil {
+		return nil, err
+	}
+	return ch.table(), nil
 }
 
 // MustRun returns the result table, panicking on error; for tests and
@@ -119,218 +469,19 @@ func (q *Query) MustRun() *Table {
 	return t
 }
 
-// Where keeps rows satisfying pred. The predicate receives whole rows,
-// so this operation runs on the row path (rows are shared, not
-// copied); prefer WhereEq/WhereFloat/WhereString for vectorized
-// single-column filters.
-func (q *Query) Where(pred Predicate) *Query {
-	if q.err != nil {
-		return q
-	}
-	return q.advanceTable(Select(q.table(), pred))
-}
-
-// WhereEq keeps rows whose column equals v.
-func (q *Query) WhereEq(col string, v Value) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		nb, err := b.WhereEq(col, v)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceBlock(nb)
-	}
-	t := q.table()
-	j, err := t.ColIndex(col)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(Select(t, func(r Row) bool { return r[j].Equal(v) }))
-}
-
-// WhereFloat keeps rows for which pred holds on the numeric column.
-func (q *Query) WhereFloat(col string, pred func(float64) bool) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		nb, err := b.WhereFloat(col, pred)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceBlock(nb)
-	}
-	t := q.table()
-	j, err := t.ColIndex(col)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(Select(t, func(r Row) bool { return r[j].IsNumeric() && pred(r[j].AsFloat()) }))
-}
-
-// WhereString keeps rows for which pred holds on the string column.
-func (q *Query) WhereString(col string, pred func(string) bool) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		nb, err := b.WhereString(col, pred)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceBlock(nb)
-	}
-	t := q.table()
-	j, err := t.ColIndex(col)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(Select(t, func(r Row) bool { return r[j].Type() == TypeString && pred(r[j].AsString()) }))
-}
-
-// Select projects to the named columns.
-func (q *Query) Select(cols ...string) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		nb, err := b.Project(cols...)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceBlock(nb)
-	}
-	t, err := Project(q.table(), cols...)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(t)
-}
-
-// Rename renames a column in the current result.
-func (q *Query) Rename(oldName, newName string) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		nb, err := b.Rename(oldName, newName)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceBlock(nb)
-	}
-	t, err := Rename(q.table(), oldName, newName)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(t)
-}
-
-// Join equijoins the current result with other on leftCol = rightCol.
-func (q *Query) Join(other *Table, leftCol, rightCol string) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		if ob, err := FromTable(other); err == nil {
-			nb, err := b.EquiJoin(ob, leftCol, rightCol, q.sc)
-			if err != nil {
-				return q.fail(err)
-			}
-			return q.advanceBlock(nb)
-		}
-	}
-	t, err := EquiJoin(q.table(), other, leftCol, rightCol)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(t)
-}
-
-// GroupBy groups by keys and computes aggs.
-func (q *Query) GroupBy(keys []string, aggs ...Aggregate) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		t, err := b.GroupBy(keys, aggs, q.sc)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceTable(t)
-	}
-	t, err := GroupBy(q.table(), keys, aggs)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(t)
-}
-
-// OrderBy sorts by the column.
-func (q *Query) OrderBy(col string, desc bool) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		nb, err := b.OrderBy(col, desc)
-		if err != nil {
-			return q.fail(err)
-		}
-		return q.advanceBlock(nb)
-	}
-	t, err := OrderBy(q.table(), col, desc)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(t)
-}
-
-// Distinct removes duplicate rows.
-func (q *Query) Distinct() *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		return q.advanceBlock(b.Distinct(q.sc))
-	}
-	return q.advanceTable(Distinct(q.table()))
-}
-
-// Limit truncates to n rows.
-func (q *Query) Limit(n int) *Query {
-	if q.err != nil {
-		return q
-	}
-	if b := q.block(); b != nil {
-		return q.advanceBlock(b.Limit(n))
-	}
-	return q.advanceTable(Limit(q.table(), n))
-}
-
-// Extend appends a computed column. The callback receives whole rows,
-// so this operation runs on the row path.
-func (q *Query) Extend(name string, typ Type, f func(Row) Value) *Query {
-	if q.err != nil {
-		return q
-	}
-	t, err := Extend(q.table(), name, typ, f)
-	if err != nil {
-		return q.fail(err)
-	}
-	return q.advanceTable(t)
-}
-
 // Count runs the query and returns its row count.
 func (q *Query) Count() (int, error) {
 	if q.err != nil {
 		return 0, q.err
 	}
-	if q.b != nil {
-		return q.b.Len(), nil
+	ch, err := q.exec()
+	if err != nil {
+		return 0, err
 	}
-	return q.t.Len(), nil
+	if ch.b != nil {
+		return ch.b.Len(), nil
+	}
+	return ch.t.Len(), nil
 }
 
 // ScalarFloat runs the query, which must produce exactly one row and one
@@ -349,4 +500,226 @@ func (q *Query) ScalarFloat() (float64, error) {
 		return 0, fmt.Errorf("%w: scalar query returned %s", ErrTypeClash, v.Type())
 	}
 	return v.AsFloat(), nil
+}
+
+// --- the chain: direct (planner-off) execution ---
+
+// chain is the direct executor: the historical eager Query execution,
+// one operation at a time. The first vectorizable operation decodes
+// the state into a ColumnBlock and subsequent operations run over
+// column vectors; tables whose values cannot be decoded into uniform
+// columns fall back to the row operators — both paths produce
+// byte-identical results (golden_test.go). The planner-off path runs
+// entirely here, and the planned path hands its region output to a
+// chain for the remaining operations, so every query ends in this
+// executor.
+type chain struct {
+	t     *Table       // row form; nil when b carries the state
+	b     *ColumnBlock // columnar form; nil when t carries the state
+	sc    *Scratch     // shared per-execution operator scratch
+	noCol bool         // latched: table failed columnar decode, stay on rows
+}
+
+// table returns the row form of the current state, materializing the
+// block if needed.
+func (c *chain) table() *Table {
+	if c.t != nil {
+		return c.t
+	}
+	return c.b.ToTable()
+}
+
+// block returns the columnar form of the current state, decoding the
+// table on first use, or nil when the data cannot be decoded (the
+// caller then uses the row path). Decode failure is latched so a chain
+// of operations on an undecodable table converts at most once.
+func (c *chain) block() *ColumnBlock {
+	if c.b != nil {
+		return c.b
+	}
+	if c.noCol || c.t == nil {
+		return nil
+	}
+	b, err := FromTable(c.t)
+	if err != nil {
+		// Silent before the observability layer: latching to the row
+		// path is correct (both paths agree bit-for-bit) but slow, so
+		// count and log it (metrics.go).
+		noteColFallback(err)
+		c.noCol = true
+		return nil
+	}
+	colQueries.Add(1)
+	c.b = b
+	return b
+}
+
+func (c *chain) setBlock(b *ColumnBlock) { c.t, c.b = nil, b }
+func (c *chain) setTable(t *Table)       { c.t, c.b = t, nil }
+
+// apply executes one recorded operation against the current state.
+func (c *chain) apply(op *qop, q *Query) error {
+	switch op.kind {
+	case opWhereRow:
+		c.setTable(Select(c.table(), op.pred))
+		return nil
+
+	case opFilter:
+		if b := c.block(); b != nil {
+			nb, err := c.filterBlock(b, op, q)
+			if err != nil {
+				return err
+			}
+			c.setBlock(nb)
+			return nil
+		}
+		t := c.table()
+		pred, err := compileExprRow(op.expr, t.Schema, q)
+		if err != nil {
+			return err
+		}
+		c.setTable(Select(t, pred))
+		return nil
+
+	case opSelect:
+		if b := c.block(); b != nil {
+			nb, err := b.Project(op.cols...)
+			if err != nil {
+				return err
+			}
+			c.setBlock(nb)
+			return nil
+		}
+		t, err := Project(c.table(), op.cols...)
+		if err != nil {
+			return err
+		}
+		c.setTable(t)
+		return nil
+
+	case opRename:
+		if b := c.block(); b != nil {
+			nb, err := b.Rename(op.oldName, op.newName)
+			if err != nil {
+				return err
+			}
+			c.setBlock(nb)
+			return nil
+		}
+		t, err := Rename(c.table(), op.oldName, op.newName)
+		if err != nil {
+			return err
+		}
+		c.setTable(t)
+		return nil
+
+	case opJoin:
+		// The join's output names are overwritten with the eagerly
+		// computed schema: a no-op for the default (both-sides-prefixed)
+		// naming, and the mechanism that implements flat SQL naming.
+		// Column order is left++right on both physical paths, so the
+		// overwrite is positionally safe.
+		if b := c.block(); b != nil {
+			if ob, err := FromTable(op.joinT); err == nil {
+				nb, err := b.EquiJoin(ob, op.joinL, op.joinR, c.sc)
+				if err != nil {
+					return err
+				}
+				nb.Name = op.name
+				nb.Schema = op.schema.Clone()
+				c.setBlock(nb)
+				return nil
+			}
+		}
+		t, err := EquiJoin(c.table(), op.joinT, op.joinL, op.joinR)
+		if err != nil {
+			return err
+		}
+		t.Name = op.name
+		t.Schema = op.schema.Clone()
+		c.setTable(t)
+		return nil
+
+	case opGroupBy:
+		if b := c.block(); b != nil {
+			t, err := b.GroupBy(op.cols, op.aggs, c.sc)
+			if err != nil {
+				return err
+			}
+			c.setTable(t)
+			return nil
+		}
+		t, err := GroupBy(c.table(), op.cols, op.aggs)
+		if err != nil {
+			return err
+		}
+		c.setTable(t)
+		return nil
+
+	case opOrderBy:
+		if b := c.block(); b != nil {
+			nb, err := b.OrderBy(op.col, op.desc)
+			if err != nil {
+				return err
+			}
+			c.setBlock(nb)
+			return nil
+		}
+		t, err := OrderBy(c.table(), op.col, op.desc)
+		if err != nil {
+			return err
+		}
+		c.setTable(t)
+		return nil
+
+	case opDistinct:
+		if b := c.block(); b != nil {
+			c.setBlock(b.Distinct(c.sc))
+			return nil
+		}
+		c.setTable(Distinct(c.table()))
+		return nil
+
+	case opLimit:
+		if b := c.block(); b != nil {
+			c.setBlock(b.Limit(op.n))
+			return nil
+		}
+		c.setTable(Limit(c.table(), op.n))
+		return nil
+
+	case opExtend:
+		t, err := Extend(c.table(), op.extName, op.extType, op.extFn)
+		if err != nil {
+			return err
+		}
+		c.setTable(t)
+		return nil
+	}
+	return fmt.Errorf("engine: unknown query op %d", op.kind)
+}
+
+// filterBlock applies an opFilter on the columnar path, using the
+// typed single-column operators where the expression shape permits
+// (the historical WhereEq/WhereFloat/WhereString fast paths) and the
+// generic compiled predicate otherwise.
+func (c *chain) filterBlock(b *ColumnBlock, op *qop, q *Query) (*ColumnBlock, error) {
+	switch e := op.expr.(type) {
+	case plan.Cmp:
+		if e.Op == "=" {
+			return b.WhereEq(e.Col, valOfLit(e.Val))
+		}
+	case plan.ColPred:
+		switch {
+		case e.Fn == "float" && op.ffn != nil:
+			return b.WhereFloat(e.Col, op.ffn)
+		case e.Fn == "string" && op.sfn != nil:
+			return b.WhereString(e.Col, op.sfn)
+		}
+	}
+	pred, err := compileExprBlock(op.expr, b, q)
+	if err != nil {
+		return nil, err
+	}
+	return b.whereFunc(pred), nil
 }

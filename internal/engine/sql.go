@@ -6,11 +6,12 @@ package engine
 // statements. The dialect covers:
 //
 //	SELECT [DISTINCT] <cols | * | aggregates> FROM <table>
-//	    [JOIN <table> ON <col> = <col>]
+//	    [JOIN <table> ON <col> = <col>]...
 //	    [WHERE <boolean expression>]
 //	    [GROUP BY <cols>]
 //	    [ORDER BY <col> [ASC|DESC]]
 //	    [LIMIT <n>]
+//	EXPLAIN [JSON] SELECT ...
 //	CREATE TABLE <name> (<col> <type>, ...)
 //	INSERT INTO <name> VALUES (<literal>, ...)
 //
@@ -23,13 +24,23 @@ package engine
 // table-qualified names ("person.pid"); in grouped queries the output
 // lists the GROUP BY keys first and then the aggregates, regardless of
 // SELECT-list order.
+//
+// Statements compile onto the Query builder (WHERE becomes a
+// plan.Expr), so SQL flows through the same cost-based planner as
+// builder queries: filters are pushed below joins, join order and
+// build sides are chosen by estimated cardinality, and EXPLAIN renders
+// the chosen plan as text (or, with EXPLAIN JSON, as a serialized plan
+// tree) without executing the query.
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"unicode"
+
+	"modeldata/internal/engine/plan"
 )
 
 // ErrSQL wraps all SQL parse and execution errors.
@@ -217,31 +228,24 @@ type selectItem struct {
 	alias string
 }
 
+// sqlJoin is one JOIN clause.
+type sqlJoin struct {
+	table string
+	left  string // left join column, as written
+	right string // right join column, as written
+}
+
 // selectStmt is a parsed SELECT.
 type selectStmt struct {
 	distinct bool
 	items    []selectItem
 	from     string
-	join     string // joined table ("" if none)
-	joinL    string // left join column
-	joinR    string // right join column
-	where    *whereExpr
+	joins    []sqlJoin
+	where    plan.Expr // nil when absent
 	groupBy  []string
 	orderBy  string
 	desc     bool
 	limit    int // -1 when absent
-}
-
-// whereExpr is a boolean expression tree.
-type whereExpr struct {
-	op       string // "and", "or", "not", "cmp", "between"
-	l, r     *whereExpr
-	cmpOp    string
-	col      string
-	val      Value
-	lo, hi   Value
-	hasLo    bool
-	negateIn bool
 }
 
 var aggNames = map[string]AggFunc{
@@ -272,25 +276,27 @@ func (p *parser) parseSelect() (*selectStmt, error) {
 		return nil, err
 	}
 	st.from = from
-	if p.keyword("join") {
-		st.join, err = p.ident()
+	for p.keyword("join") {
+		var jn sqlJoin
+		jn.table, err = p.ident()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expectKeyword("on"); err != nil {
 			return nil, err
 		}
-		st.joinL, err = p.ident()
+		jn.left, err = p.ident()
 		if err != nil {
 			return nil, err
 		}
 		if err := p.expectSymbol("="); err != nil {
 			return nil, err
 		}
-		st.joinR, err = p.ident()
+		jn.right, err = p.ident()
 		if err != nil {
 			return nil, err
 		}
+		st.joins = append(st.joins, jn)
 	}
 	if p.keyword("where") {
 		st.where, err = p.parseOr()
@@ -382,7 +388,10 @@ func (p *parser) parseSelectItem() (selectItem, error) {
 	return item, nil
 }
 
-func (p *parser) parseOr() (*whereExpr, error) {
+// The WHERE grammar parses directly into plan.Expr nodes — the same
+// inspectable expression values the planner pushes below joins.
+
+func (p *parser) parseOr() (plan.Expr, error) {
 	l, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -392,12 +401,12 @@ func (p *parser) parseOr() (*whereExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &whereExpr{op: "or", l: l, r: r}
+		l = plan.Or{L: l, R: r}
 	}
 	return l, nil
 }
 
-func (p *parser) parseAnd() (*whereExpr, error) {
+func (p *parser) parseAnd() (plan.Expr, error) {
 	l, err := p.parseNot()
 	if err != nil {
 		return nil, err
@@ -407,23 +416,23 @@ func (p *parser) parseAnd() (*whereExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &whereExpr{op: "and", l: l, r: r}
+		l = plan.And{L: l, R: r}
 	}
 	return l, nil
 }
 
-func (p *parser) parseNot() (*whereExpr, error) {
+func (p *parser) parseNot() (plan.Expr, error) {
 	if p.keyword("not") {
 		inner, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return &whereExpr{op: "not", l: inner}, nil
+		return plan.Not{E: inner}, nil
 	}
 	return p.parsePredicate()
 }
 
-func (p *parser) parsePredicate() (*whereExpr, error) {
+func (p *parser) parsePredicate() (plan.Expr, error) {
 	if p.symbol("(") {
 		inner, err := p.parseOr()
 		if err != nil {
@@ -450,7 +459,7 @@ func (p *parser) parsePredicate() (*whereExpr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &whereExpr{op: "between", col: col, lo: lo, hi: hi, hasLo: true}, nil
+		return plan.Between{Col: col, Lo: litOfValue(lo), Hi: litOfValue(hi)}, nil
 	}
 	if p.cur().kind != tokSymbol {
 		return nil, sqlErrf("expected comparison operator near %q", p.cur().text)
@@ -465,7 +474,7 @@ func (p *parser) parsePredicate() (*whereExpr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &whereExpr{op: "cmp", cmpOp: op, col: col, val: val}, nil
+	return plan.Cmp{Op: op, Col: col, Val: litOfValue(val)}, nil
 }
 
 func (p *parser) parseLiteral() (Value, error) {
@@ -521,136 +530,6 @@ func (p *parser) parseLiteral() (Value, error) {
 
 // --- execution ---
 
-// compileWhere converts the expression tree into a Predicate over the
-// given schema.
-func compileWhere(e *whereExpr, schema Schema) (Predicate, error) {
-	switch e.op {
-	case "and":
-		l, err := compileWhere(e.l, schema)
-		if err != nil {
-			return nil, err
-		}
-		r, err := compileWhere(e.r, schema)
-		if err != nil {
-			return nil, err
-		}
-		return func(row Row) bool { return l(row) && r(row) }, nil
-	case "or":
-		l, err := compileWhere(e.l, schema)
-		if err != nil {
-			return nil, err
-		}
-		r, err := compileWhere(e.r, schema)
-		if err != nil {
-			return nil, err
-		}
-		return func(row Row) bool { return l(row) || r(row) }, nil
-	case "not":
-		inner, err := compileWhere(e.l, schema)
-		if err != nil {
-			return nil, err
-		}
-		return func(row Row) bool { return !inner(row) }, nil
-	case "between":
-		idx, err := schema.ColIndex(e.col)
-		if err != nil {
-			return nil, err
-		}
-		lo, hi := e.lo, e.hi
-		return func(row Row) bool {
-			v := row[idx]
-			return !v.Less(lo) && !hi.Less(v)
-		}, nil
-	case "cmp":
-		idx, err := schema.ColIndex(e.col)
-		if err != nil {
-			return nil, err
-		}
-		val := e.val
-		switch e.cmpOp {
-		case "=":
-			return func(row Row) bool { return row[idx].Equal(val) }, nil
-		case "<>", "!=":
-			return func(row Row) bool { return !row[idx].Equal(val) }, nil
-		case "<":
-			return func(row Row) bool { return row[idx].Less(val) }, nil
-		case "<=":
-			return func(row Row) bool { return !val.Less(row[idx]) }, nil
-		case ">":
-			return func(row Row) bool { return val.Less(row[idx]) }, nil
-		case ">=":
-			return func(row Row) bool { return !row[idx].Less(val) }, nil
-		}
-	}
-	return nil, sqlErrf("unsupported WHERE node %q", e.op)
-}
-
-// compileWhereCol converts the expression tree into a logical-row
-// predicate over the block, mirroring compileWhere exactly: leaves read
-// column values through the block (allocation-free Value reconstruction)
-// and compare with the same Equal/Less semantics as the row path.
-func compileWhereCol(e *whereExpr, b *ColumnBlock) (func(i int) bool, error) {
-	switch e.op {
-	case "and":
-		l, err := compileWhereCol(e.l, b)
-		if err != nil {
-			return nil, err
-		}
-		r, err := compileWhereCol(e.r, b)
-		if err != nil {
-			return nil, err
-		}
-		return func(i int) bool { return l(i) && r(i) }, nil
-	case "or":
-		l, err := compileWhereCol(e.l, b)
-		if err != nil {
-			return nil, err
-		}
-		r, err := compileWhereCol(e.r, b)
-		if err != nil {
-			return nil, err
-		}
-		return func(i int) bool { return l(i) || r(i) }, nil
-	case "not":
-		inner, err := compileWhereCol(e.l, b)
-		if err != nil {
-			return nil, err
-		}
-		return func(i int) bool { return !inner(i) }, nil
-	case "between":
-		idx, err := b.ColIndex(e.col)
-		if err != nil {
-			return nil, err
-		}
-		lo, hi := e.lo, e.hi
-		return func(i int) bool {
-			v := b.value(i, idx)
-			return !v.Less(lo) && !hi.Less(v)
-		}, nil
-	case "cmp":
-		idx, err := b.ColIndex(e.col)
-		if err != nil {
-			return nil, err
-		}
-		val := e.val
-		switch e.cmpOp {
-		case "=":
-			return func(i int) bool { return b.value(i, idx).Equal(val) }, nil
-		case "<>", "!=":
-			return func(i int) bool { return !b.value(i, idx).Equal(val) }, nil
-		case "<":
-			return func(i int) bool { return b.value(i, idx).Less(val) }, nil
-		case "<=":
-			return func(i int) bool { return !val.Less(b.value(i, idx)) }, nil
-		case ">":
-			return func(i int) bool { return val.Less(b.value(i, idx)) }, nil
-		case ">=":
-			return func(i int) bool { return !b.value(i, idx).Less(val) }, nil
-		}
-	}
-	return nil, sqlErrf("unsupported WHERE node %q", e.op)
-}
-
 // selectAggs extracts the aggregate list of a grouped SELECT,
 // validating that non-aggregate items are GROUP BY keys.
 func selectAggs(st *selectStmt) ([]Aggregate, error) {
@@ -701,173 +580,99 @@ func selectHasAgg(st *selectStmt) bool {
 	return false
 }
 
-// execSelect runs a parsed SELECT against the database. Execution is
-// columnar when the involved tables decode into uniform column vectors,
-// and falls back to the row operators when they do not; both paths
-// produce byte-identical results (golden_test.go).
-func execSelect(db *Database, st *selectStmt) (*Table, error) {
+// buildSelectQuery compiles a parsed SELECT onto the Query builder,
+// which hands it to the planner at Run. The first JOIN prefixes both
+// sides' columns with their table names; later JOINs keep the
+// accumulated names and prefix only the new table, so every column
+// stays addressable as "table.col" however many joins are chained.
+func buildSelectQuery(db *Database, st *selectStmt) (*Query, error) {
 	t, err := db.Get(st.from)
 	if err != nil {
 		return nil, err
 	}
-	var right *Table
-	if st.join != "" {
-		right, err = db.Get(st.join)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if b, berr := FromTable(t); berr == nil {
-		out, err := execSelectCol(st, b, right)
-		if err == nil {
-			colQueries.Add(1)
-			return out, nil
-		}
-		if !errors.Is(err, ErrMixedColumn) {
-			return nil, err
-		}
-		// The join table failed columnar decode: run on rows.
-		noteColFallback(err)
-	} else {
-		noteColFallback(berr)
-	}
-	return execSelectRows(st, t, right)
-}
-
-// execSelectCol runs the SELECT over the columnar operators. An
-// ErrMixedColumn return means a table could not be decoded and the
-// caller should retry on the row path; any other error is final.
-func execSelectCol(st *selectStmt, b *ColumnBlock, right *Table) (*Table, error) {
-	sc := NewScratch()
-	if right != nil {
-		rb, err := FromTable(right)
+	q := From(t)
+	for i, jn := range st.joins {
+		right, err := db.Get(jn.table)
 		if err != nil {
 			return nil, err
 		}
 		// Join columns may be written bare or table-qualified
 		// ("person.pid"); strip a matching table qualifier so the name
-		// resolves against the pre-join schemas.
-		b, err = b.EquiJoin(rb,
-			stripQualifier(st.joinL, st.from),
-			stripQualifier(st.joinR, st.join), sc)
-		if err != nil {
-			return nil, err
+		// resolves against the pre-join schemas. After the first join
+		// the left side keeps its qualified names, so the qualifier is
+		// stripped only against the original FROM table.
+		leftArg := jn.left
+		if i == 0 {
+			leftArg = stripQualifier(leftArg, st.from)
 		}
+		q = q.join(right, leftArg, stripQualifier(jn.right, jn.table), i > 0)
 	}
 	if st.where != nil {
-		pred, err := compileWhereCol(st.where, b)
-		if err != nil {
-			return nil, err
-		}
-		b = b.whereFunc(pred)
+		q = q.WhereExpr(st.where)
 	}
 	if selectHasAgg(st) || len(st.groupBy) > 0 {
 		aggs, err := selectAggs(st)
 		if err != nil {
 			return nil, err
 		}
-		t, err := b.GroupBy(st.groupBy, aggs, sc)
-		if err != nil {
-			return nil, err
-		}
-		// Group-by output is a small row table; finish on rows.
-		return execSelectTail(st, t)
-	}
-	if !(len(st.items) == 1 && st.items[0].star) {
+		q = q.GroupBy(st.groupBy, aggs...)
+	} else if !(len(st.items) == 1 && st.items[0].star) {
 		cols, renames, err := selectProjection(st)
 		if err != nil {
 			return nil, err
 		}
-		if b, err = b.Project(cols...); err != nil {
-			return nil, err
+		q = q.Select(cols...)
+		// Renames of distinct columns commute; apply in sorted order
+		// for determinism.
+		fromCols := make([]string, 0, len(renames))
+		for from := range renames {
+			fromCols = append(fromCols, from)
 		}
-		for from, to := range renames {
-			if b, err = b.Rename(from, to); err != nil {
-				return nil, err
-			}
+		sort.Strings(fromCols)
+		for _, from := range fromCols {
+			q = q.Rename(from, renames[from])
 		}
 	}
 	if st.distinct {
-		b = b.Distinct(sc)
+		q = q.Distinct()
 	}
 	if st.orderBy != "" {
-		var err error
-		if b, err = b.OrderBy(st.orderBy, st.desc); err != nil {
-			return nil, err
-		}
+		q = q.OrderBy(st.orderBy, st.desc)
 	}
 	if st.limit >= 0 {
-		b = b.Limit(st.limit)
+		q = q.Limit(st.limit)
 	}
-	return b.ToTable(), nil
+	if q.err != nil {
+		return nil, q.err
+	}
+	return q, nil
 }
 
-// execSelectRows is the row-operator fallback, used when a table holds
-// values the columnar layout cannot represent.
-func execSelectRows(st *selectStmt, t *Table, right *Table) (*Table, error) {
-	var err error
-	if right != nil {
-		t, err = EquiJoin(t, right,
-			stripQualifier(st.joinL, st.from),
-			stripQualifier(st.joinR, st.join))
+// explainTable renders a plan tree as the EXPLAIN result table: one
+// "plan" text column, one row per plan line (or a single row holding
+// the JSON document).
+func explainTable(tree *plan.Tree, asJSON bool) (*Table, error) {
+	out, err := NewTable("explain", Schema{{Name: "plan", Type: TypeString}})
+	if err != nil {
+		return nil, err
+	}
+	if asJSON {
+		data, err := tree.JSON()
 		if err != nil {
+			return nil, err
+		}
+		if err := out.Insert(Row{Str(string(data))}); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	text := strings.TrimRight(tree.Text(), "\n")
+	for _, line := range strings.Split(text, "\n") {
+		if err := out.Insert(Row{Str(line)}); err != nil {
 			return nil, err
 		}
 	}
-	if st.where != nil {
-		pred, err := compileWhere(st.where, t.Schema)
-		if err != nil {
-			return nil, err
-		}
-		t = Select(t, pred)
-	}
-	switch {
-	case selectHasAgg(st) || len(st.groupBy) > 0:
-		aggs, err := selectAggs(st)
-		if err != nil {
-			return nil, err
-		}
-		t, err = GroupBy(t, st.groupBy, aggs)
-		if err != nil {
-			return nil, err
-		}
-	case len(st.items) == 1 && st.items[0].star:
-		// SELECT *: keep every column.
-	default:
-		cols, renames, err := selectProjection(st)
-		if err != nil {
-			return nil, err
-		}
-		t, err = Project(t, cols...)
-		if err != nil {
-			return nil, err
-		}
-		for from, to := range renames {
-			t, err = Rename(t, from, to)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return execSelectTail(st, t)
-}
-
-// execSelectTail applies DISTINCT / ORDER BY / LIMIT to a row table.
-func execSelectTail(st *selectStmt, t *Table) (*Table, error) {
-	var err error
-	if st.distinct {
-		t = Distinct(t)
-	}
-	if st.orderBy != "" {
-		t, err = OrderBy(t, st.orderBy, st.desc)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if st.limit >= 0 {
-		t = Limit(t, st.limit)
-	}
-	return t, nil
+	return out, nil
 }
 
 // stripQualifier removes a "table." prefix when it names the expected
@@ -889,7 +694,8 @@ func containsFold(xs []string, s string) bool {
 }
 
 // Query executes a SQL statement against the database and returns the
-// result table. Supported statements: SELECT (returns rows), CREATE
+// result table. Supported statements: SELECT (returns rows), EXPLAIN
+// [JSON] SELECT (returns the plan as a one-column text table), CREATE
 // TABLE (returns an empty result), INSERT INTO ... VALUES (returns an
 // empty result).
 func (db *Database) Query(sql string) (*Table, error) {
@@ -904,13 +710,35 @@ func (db *Database) Query(sql string) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return execSelect(db, st)
+		q, err := buildSelectQuery(db, st)
+		if err != nil {
+			return nil, err
+		}
+		return q.Run()
+	case p.keyword("explain"):
+		asJSON := p.keyword("json")
+		if !(p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, "select")) {
+			return nil, sqlErrf("EXPLAIN supports only SELECT, near %q", p.cur().text)
+		}
+		st, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q, err := buildSelectQuery(db, st)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := q.Explain()
+		if err != nil {
+			return nil, err
+		}
+		return explainTable(tree, asJSON)
 	case p.keyword("create"):
 		return db.execCreate(p)
 	case p.keyword("insert"):
 		return db.execInsert(p)
 	}
-	return nil, sqlErrf("expected SELECT, CREATE TABLE, or INSERT near %q", p.cur().text)
+	return nil, sqlErrf("expected SELECT, EXPLAIN, CREATE TABLE, or INSERT near %q", p.cur().text)
 }
 
 // QueryScalar executes a SELECT that must produce exactly one row and

@@ -1,0 +1,213 @@
+package engine
+
+// Table statistics for the cost model, harvested from decoded
+// ColumnBlocks: row counts, per-column NDV (exact for small scans,
+// deterministic stride-sampled above ndvExactLimit rows), and numeric
+// min/max. blockCatalog implements plan.Catalog; it is built per
+// planning call and caches per-column results for the duration of that
+// call. Everything here is deterministic — sampling uses a fixed
+// stride, never a random source — per the repository's bit-identical
+// replay rule.
+
+import (
+	"strings"
+
+	"modeldata/internal/engine/plan"
+)
+
+const (
+	// ndvExactLimit is the scan size up to which NDV is counted exactly.
+	ndvExactLimit = 1 << 16
+	// ndvSampleSize is the number of stride-sampled rows used above it.
+	ndvSampleSize = 4096
+)
+
+type cachedStats struct {
+	cs plan.ColStats
+	ok bool
+}
+
+// blockCatalog supplies statistics over one region's scans. blocks may
+// hold nils for scans that failed columnar decode; those report no
+// column statistics and the cost model falls back to row counts.
+type blockCatalog struct {
+	tables []*Table
+	blocks []*ColumnBlock
+	cache  []map[string]cachedStats
+}
+
+func newBlockCatalog(tables []*Table, blocks []*ColumnBlock) *blockCatalog {
+	return &blockCatalog{
+		tables: tables,
+		blocks: blocks,
+		cache:  make([]map[string]cachedStats, len(tables)),
+	}
+}
+
+// ScanRows returns the row count of the scan.
+func (c *blockCatalog) ScanRows(scan int) int64 {
+	if scan < 0 || scan >= len(c.tables) {
+		return 0
+	}
+	return int64(c.tables[scan].Len())
+}
+
+// ColStats harvests (and caches) statistics for one column of a scan.
+func (c *blockCatalog) ColStats(scan int, col string) (plan.ColStats, bool) {
+	if scan < 0 || scan >= len(c.blocks) || c.blocks[scan] == nil {
+		return plan.ColStats{}, false
+	}
+	key := strings.ToLower(col)
+	if m := c.cache[scan]; m != nil {
+		if e, ok := m[key]; ok {
+			return e.cs, e.ok
+		}
+	}
+	var e cachedStats
+	if j, err := c.blocks[scan].ColIndex(col); err == nil {
+		e = cachedStats{cs: harvestColStats(c.blocks[scan], j), ok: true}
+	}
+	if c.cache[scan] == nil {
+		c.cache[scan] = make(map[string]cachedStats)
+	}
+	c.cache[scan][key] = e
+	return e.cs, e.ok
+}
+
+// harvestColStats computes statistics for column j of a fully decoded
+// block (sel must be nil, as planner scans always are).
+func harvestColStats(b *ColumnBlock, j int) plan.ColStats {
+	n := b.Len()
+	switch b.Schema[j].Type {
+	case TypeInt:
+		ints := b.cols[j].ints[:n]
+		var cs plan.ColStats
+		cs.Numeric = true
+		if n > 0 {
+			mn, mx := ints[0], ints[0]
+			for _, v := range ints {
+				if v < mn {
+					mn = v
+				}
+				if mx < v {
+					mx = v
+				}
+			}
+			cs.Min, cs.Max = float64(mn), float64(mx)
+		}
+		if n <= ndvExactLimit {
+			seen := make(map[int64]struct{}, n)
+			for _, v := range ints {
+				seen[v] = struct{}{}
+			}
+			cs.NDV = int64(len(seen))
+		} else {
+			cs.NDV = sampledNDV(n, func(i int) uint64 { return uint64(ints[i]) })
+		}
+		return cs
+	case TypeFloat:
+		fs := b.cols[j].floats[:n]
+		var cs plan.ColStats
+		cs.Numeric = true
+		if n > 0 {
+			mn, mx := fs[0], fs[0]
+			for _, v := range fs {
+				if v < mn {
+					mn = v
+				}
+				if mx < v {
+					mx = v
+				}
+			}
+			cs.Min, cs.Max = mn, mx
+		}
+		if n <= ndvExactLimit {
+			seen := make(map[float64]struct{}, n)
+			for _, v := range fs {
+				seen[v] = struct{}{}
+			}
+			cs.NDV = int64(len(seen))
+		} else {
+			cs.NDV = sampledNDV(n, func(i int) uint64 { return numKeyBits(fs[i]) })
+		}
+		return cs
+	case TypeString:
+		strs := b.cols[j].strs[:n]
+		var cs plan.ColStats
+		if n <= ndvExactLimit {
+			seen := make(map[string]struct{}, n)
+			for _, v := range strs {
+				seen[v] = struct{}{}
+			}
+			cs.NDV = int64(len(seen))
+		} else {
+			// Strings sample through a map of the sampled values.
+			stride := n / ndvSampleSize
+			if stride < 1 {
+				stride = 1
+			}
+			seen := make(map[string]struct{}, ndvSampleSize)
+			samples := 0
+			for i := 0; i < n; i += stride {
+				seen[strs[i]] = struct{}{}
+				samples++
+			}
+			cs.NDV = scaleNDV(int64(len(seen)), int64(samples), int64(n))
+		}
+		return cs
+	case TypeBool:
+		bools := b.cols[j].bools[:n]
+		var sawT, sawF bool
+		for _, v := range bools {
+			if v {
+				sawT = true
+			} else {
+				sawF = true
+			}
+			if sawT && sawF {
+				break
+			}
+		}
+		var ndv int64
+		if sawT {
+			ndv++
+		}
+		if sawF {
+			ndv++
+		}
+		return plan.ColStats{NDV: ndv}
+	}
+	return plan.ColStats{}
+}
+
+// sampledNDV estimates NDV from a fixed-stride sample of key codes.
+func sampledNDV(n int, code func(i int) uint64) int64 {
+	stride := n / ndvSampleSize
+	if stride < 1 {
+		stride = 1
+	}
+	seen := make(map[uint64]struct{}, ndvSampleSize)
+	samples := 0
+	for i := 0; i < n; i += stride {
+		seen[code(i)] = struct{}{}
+		samples++
+	}
+	return scaleNDV(int64(len(seen)), int64(samples), int64(n))
+}
+
+// scaleNDV scales a sampled distinct count d (out of s samples) to a
+// population of n rows, clamped to [d, n]: linear scale-up, the naive
+// but deterministic estimator — good enough to steer join order.
+func scaleNDV(d, s, n int64) int64 {
+	if s <= 0 || d <= 0 {
+		return 1
+	}
+	est := d * n / s
+	if est < d {
+		est = d
+	}
+	if est > n {
+		est = n
+	}
+	return est
+}

@@ -2,7 +2,7 @@
 // for the relational engine's row and columnar execution paths. The
 // same Workload definitions back both the `go test -bench` benchmarks
 // (internal/engine/bench_test.go) and the cmd/benchjson trajectory
-// recorder, so the numbers in BENCH_4.json measure exactly the code the
+// recorder, so the numbers in BENCH_6.json measure exactly the code the
 // benchmarks do.
 package enginebench
 
@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/engine/plan"
 	"modeldata/internal/rng"
 )
 
@@ -151,6 +152,91 @@ func Workloads() []Workload {
 			Op: "Distinct", Rows: n,
 			Row: func() { engine.Distinct(proj) },
 			Col: func() { projBlock.Distinct(sc) },
+		})
+	}
+	return out
+}
+
+// PlannerWorkload is one join-heavy query benchmarked with the cost-
+// based planner off (written order, the historical execution) and on.
+// Both closures produce byte-identical results; the difference is
+// purely plan choice.
+type PlannerWorkload struct {
+	Op   string
+	Rows int
+	Off  func()
+	On   func()
+}
+
+// Name returns the canonical benchmark label, e.g. "Join3/100000".
+func (w PlannerWorkload) Name() string { return fmt.Sprintf("%s/%d", w.Op, w.Rows) }
+
+// medDims builds a 512-row dimension with fan-out 8 per gid, so the
+// written-order join through it multiplies the intermediate by 8.
+func medDims() *engine.Table {
+	t := &engine.Table{Name: "med", Schema: engine.Schema{
+		{Name: "gid", Type: engine.TypeInt},
+		{Name: "name", Type: engine.TypeString},
+	}}
+	for i := 0; i < 512; i++ {
+		t.Rows = append(t.Rows, engine.Row{
+			engine.Int(int64(i % 64)),
+			engine.Str(fmt.Sprintf("g%03d", i)),
+		})
+	}
+	return t
+}
+
+// tinyDim is a one-row dimension matching 1/16 of the fact table's
+// tags — the join a cost-based planner must run first.
+func tinyDim() *engine.Table {
+	t := &engine.Table{Name: "tiny", Schema: engine.Schema{
+		{Name: "tag", Type: engine.TypeString},
+		{Name: "label", Type: engine.TypeString},
+	}}
+	t.Rows = append(t.Rows, engine.Row{engine.Str("t03"), engine.Str("the-one")})
+	return t
+}
+
+// PlannerWorkloads builds the planner-off vs planner-on benchmark
+// queries. The written join order is deliberately bad: events ⋈ med
+// (fan-out 8) first, the selective events ⋈ tiny (keeps 1/16) last.
+// A cost-based order joins tiny first, shrinking every intermediate
+// 128-fold; Join3Filtered additionally carries a predicate written
+// above the first join that pushdown moves onto the events scan.
+func PlannerWorkloads() []PlannerWorkload {
+	var out []PlannerWorkload
+	r := rng.New(0x91a7)
+	med := medDims()
+	tiny := tinyDim()
+	run := func(q *engine.Query, on bool) func() {
+		q = q.WithPlanner(on)
+		return func() {
+			if _, err := q.Run(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for _, n := range Sizes {
+		ev := events(r.Split(), n)
+
+		q3 := engine.From(ev).
+			Join(med, "gid", "gid").
+			Join(tiny, "events.tag", "tag")
+		out = append(out, PlannerWorkload{
+			Op: "Join3", Rows: n,
+			Off: run(q3, false),
+			On:  run(q3, true),
+		})
+
+		qf := engine.From(ev).
+			Join(med, "gid", "gid").
+			WhereExpr(plan.Cmp{Op: "<", Col: "events.val", Val: plan.FloatLit(0.25)}).
+			Join(tiny, "events.tag", "tag")
+		out = append(out, PlannerWorkload{
+			Op: "Join3Filtered", Rows: n,
+			Off: run(qf, false),
+			On:  run(qf, true),
 		})
 	}
 	return out

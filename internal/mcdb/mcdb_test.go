@@ -1,9 +1,11 @@
 package mcdb
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"modeldata/internal/engine"
@@ -515,5 +517,83 @@ func TestBundleJoinDetDangling(t *testing.T) {
 	// Patient 0 matches twice; patients 1–3 dangle.
 	if joined.Len() != 2 {
 		t.Fatalf("joined tuples = %d, want 2", joined.Len())
+	}
+}
+
+// TestSessionExecSQL checks the prepared-SQL path: an arbitrary join
+// SELECT runs once per instantiation, bit-identically at any worker
+// count, and agrees with the equivalent declarative AggQuery.
+func TestSessionExecSQL(t *testing.T) {
+	db := sbpFixture(t, 12)
+	s := db.NewSession()
+	const sql = "SELECT AVG(sbp_data.sbp) " +
+		"FROM sbp_data JOIN patients ON sbp_data.pid = patients.pid " +
+		"WHERE patients.gender = 'M'"
+	opts := ExecOptions{Iterations: 20, Seed: 5}
+	var ref []float64
+	for _, w := range []int{1, 2, 8} {
+		opts.Workers = w
+		got, err := s.ExecSQL(context.Background(), sql, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d iter %d: %v vs %v", w, i, got[i], ref[i])
+			}
+		}
+	}
+
+	// The declarative path answers the same question; the samples must
+	// match exactly (same seed → same instantiations → same rows).
+	agg, err := s.Exec(context.Background(), AggQuery{
+		Table: "sbp_data", Col: "sbp", Fn: engine.AggAvg,
+		WhereDet: func(r engine.Row) bool { return r[1].AsString() == "M" },
+	}, ExecOptions{Strategy: StrategyNaive, Iterations: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if agg[i] != ref[i] {
+			t.Fatalf("iter %d: SQL %v vs AggQuery %v", i, ref[i], agg[i])
+		}
+	}
+}
+
+// TestSessionExplainSQL checks plan rendering through the session.
+func TestSessionExplainSQL(t *testing.T) {
+	db := sbpFixture(t, 12)
+	s := db.NewSession()
+	const sql = "SELECT COUNT(sbp_data.pid) " +
+		"FROM sbp_data JOIN patients ON sbp_data.pid = patients.pid " +
+		"WHERE patients.gender = 'F'"
+	text, data, err := s.ExplainSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"join sbp_data.pid = patients.pid", "scan sbp_data rows=12", "filter gender = 'F'"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("ExplainSQL missing %q:\n%s", want, text)
+		}
+	}
+	if len(data) == 0 || data[0] != '{' {
+		t.Fatalf("ExplainSQL JSON = %q", data)
+	}
+
+	// Prepared is cached per statement text.
+	p1, err := s.Prepared(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.Prepared(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("Prepared did not cache the statement")
 	}
 }

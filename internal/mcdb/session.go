@@ -92,6 +92,9 @@ type Session struct {
 
 	mu      sync.Mutex
 	bundles map[bundleKey]map[string]*BundleTable
+
+	prepMu   sync.Mutex
+	prepared map[string]*engine.Prepared
 }
 
 type bundleKey struct {
@@ -238,4 +241,95 @@ func (s *Session) execNaive(ctx context.Context, spec *TableSpec, q AggQuery, op
 		return nil, err
 	}
 	return out, nil
+}
+
+// --- SQL over Monte Carlo instantiations ---
+//
+// ExecSQL runs an arbitrary scalar SELECT (joins, WHERE, GROUP BY —
+// anything the engine's SQL dialect supports) once per Monte Carlo
+// instantiation, where AggQuery is limited to one table and one
+// aggregate. The statement is prepared once per Session; the engine's
+// cost-based planner picks a join order on the first iteration and the
+// Prepared choice cache replays it on the rest (every instantiation of
+// a spec has the same row counts, so the cached order always matches).
+
+// Prepared parses sql once and caches it on the session. Repeated
+// calls with the same text return the same *engine.Prepared, sharing
+// its join-order cache.
+func (s *Session) Prepared(sql string) (*engine.Prepared, error) {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	if p, ok := s.prepared[sql]; ok {
+		return p, nil
+	}
+	p, err := engine.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	if s.prepared == nil {
+		s.prepared = make(map[string]*engine.Prepared)
+	}
+	s.prepared[sql] = p
+	return p, nil
+}
+
+// ExecSQL runs a scalar SELECT for opts.Iterations Monte Carlo
+// iterations — each against a fresh instantiation of the database —
+// and returns the per-iteration samples. Like Exec, results for a
+// given (iterations, seed) are bit-identical at any worker count.
+// opts.Strategy is ignored: SQL always runs on full instantiations.
+func (s *Session) ExecSQL(ctx context.Context, sql string, opts ExecOptions) ([]float64, error) {
+	if opts.Iterations <= 0 {
+		return nil, fmt.Errorf("mcdb: iters=%d", opts.Iterations)
+	}
+	p, err := s.Prepared(sql)
+	if err != nil {
+		return nil, err
+	}
+	ctx, span := obs.Start(ctx, "mcdb.sql")
+	span.SetAttr("sql", sql)
+	span.SetInt("iterations", int64(opts.Iterations))
+	defer span.End()
+	out := make([]float64, opts.Iterations)
+	err = parallel.ForStreams(ctx, rng.New(opts.Seed), opts.Iterations, parallel.Options{Workers: opts.Workers},
+		func(i int, r *rng.Stream) error {
+			inst, err := s.db.Instantiate(r)
+			if err != nil {
+				return err
+			}
+			v, err := p.Scalar(inst)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExplainSQL renders the plan ExecSQL would run, in both text and JSON
+// form. Plans depend on table statistics, so the statement is
+// explained against a deterministic seed-0 instantiation — the same
+// row counts (and thus the same plan) every instantiation gets.
+func (s *Session) ExplainSQL(sql string) (string, []byte, error) {
+	p, err := s.Prepared(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	inst, err := s.db.Instantiate(rng.New(0))
+	if err != nil {
+		return "", nil, err
+	}
+	tree, err := p.Explain(inst)
+	if err != nil {
+		return "", nil, err
+	}
+	data, err := tree.JSON()
+	if err != nil {
+		return "", nil, err
+	}
+	return tree.Text(), data, nil
 }

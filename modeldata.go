@@ -222,11 +222,3 @@ func Run(ctx context.Context, id string, opts ...Option) (ExperimentResult, erro
 	}
 	return res, err
 }
-
-// RunExperiment executes one experiment by ID with the given seed.
-//
-// Deprecated: use Run, which adds cancellation, worker bounds,
-// progress reporting, and stats collection via options.
-func RunExperiment(id string, seed uint64) (ExperimentResult, error) {
-	return Run(context.Background(), id, WithSeed(seed))
-}
