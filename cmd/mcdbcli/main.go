@@ -48,7 +48,7 @@ func main() {
 	if *sql != "" {
 		s := db.NewSession()
 		if *explain {
-			text, _, err := s.ExplainSQL(*sql)
+			text, _, err := s.ExplainSQL(context.Background(), *sql)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,105 @@
+// Command mcdbserver serves the Monte Carlo Database over HTTP: a
+// multi-tenant query service (internal/server) hosting one SBP fixture
+// database per tenant, with per-tenant seed namespaces, admission
+// control, a bounded result cache, sharded deterministic execution,
+// and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	mcdbserver [-addr :8080] [-base-seed 1] [-shards 1] [-patients 100]
+//	           [-max-inflight 32] [-tenant-inflight 8] [-trace]
+//
+// Endpoints (see internal/server.Handler):
+//
+//	POST /v1/query   structured aggregate query
+//	POST /v1/sql     SQL query or EXPLAIN
+//	GET  /metrics    metrics snapshot
+//	GET  /debug/trace, /debug/pprof/*, /healthz
+//
+// Every tenant gets its own copy of the §2.1 blood-pressure fixture;
+// what isolates tenants is the seed namespace and session state, which
+// is the property the serving layer exists to demonstrate.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"modeldata/internal/experiments"
+	"modeldata/internal/mcdb"
+	"modeldata/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcdbserver: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	baseSeed := flag.Uint64("base-seed", 1, "base seed rooting per-tenant namespaces")
+	shards := flag.Int("shards", 1, "backend shards per query")
+	patients := flag.Int("patients", 100, "patients in each tenant's SBP fixture")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInFlight, "global in-flight query limit")
+	tenantInflight := flag.Int("tenant-inflight", server.DefaultTenantMaxInFlight, "per-tenant in-flight query limit")
+	maxWorkers := flag.Int("max-workers", server.DefaultMaxWorkers, "per-query worker budget cap")
+	cacheCap := flag.Int("result-cache", server.DefaultResultCacheCap, "result cache capacity")
+	trace := flag.Bool("trace", false, "collect spans for /debug/trace")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		BaseSeed:          *baseSeed,
+		Shards:            *shards,
+		MaxInFlight:       *maxInflight,
+		TenantMaxInFlight: *tenantInflight,
+		MaxWorkers:        *maxWorkers,
+		ResultCacheCap:    *cacheCap,
+		Trace:             *trace,
+		Open: func(tenant string) (*mcdb.DB, error) {
+			return experiments.SBPDatabase(*patients)
+		},
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGTERM/SIGINT start a drain: admission rejects new queries with
+	// 503 while Shutdown waits (up to -drain-timeout) for in-flight
+	// requests to finish. The base context is deliberately NOT tied to
+	// the signal — that would cancel the very queries we are draining.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (shards=%d, base seed %d)", *addr, *shards, *baseSeed)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	log.Printf("draining (up to %s)...", *drainTimeout)
+	srv.BeginDrain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	log.Printf("drained, bye")
+	return nil
+}

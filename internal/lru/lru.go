@@ -1,0 +1,110 @@
+// Package lru provides a small bounded least-recently-used cache.
+//
+// It exists because a long-running process must bound every cache it
+// keeps: the mcdb Session's bundle-realization cache and the query
+// service's result cache both grow one entry per distinct key, and in
+// a server that serves arbitrary (seed, iterations) combinations "one
+// entry per key" is a memory leak. Both layers share this
+// implementation so eviction behaves (and is metered) the same way
+// everywhere.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one cached key/value pair, stored in the recency list.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Cache is a bounded LRU map. All methods are safe for concurrent use.
+// Get and GetOrAdd promote the touched key to most-recently-used;
+// inserting beyond capacity evicts from the least-recently-used end.
+type Cache[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent; elements hold *entry[K, V]
+	idx map[K]*list.Element
+}
+
+// New returns an empty cache bounded to capacity entries. A capacity
+// of zero or less is treated as 1 (a bound of "nothing" would make
+// every Add a miss-and-evict loop callers never want).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the value cached under k and promotes it to
+// most-recently-used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts (or replaces) the value under k, promotes it, and
+// returns how many entries were evicted to stay within capacity.
+func (c *Cache[K, V]) Add(k K, v V) (evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.idx[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	return c.evictOver()
+}
+
+// GetOrAdd returns the value already cached under k (loaded=true), or
+// inserts v and returns it (loaded=false). Two goroutines racing to
+// fill the same key therefore agree on one winning value — the shape
+// the Session bundle cache needs, where a racing realization of the
+// same key is identical and either copy may win.
+func (c *Cache[K, V]) GetOrAdd(k K, v V) (actual V, loaded bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true, 0
+	}
+	c.idx[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	return v, false, c.evictOver()
+}
+
+// evictOver drops least-recently-used entries until the cache fits its
+// capacity. Callers hold c.mu.
+func (c *Cache[K, V]) evictOver() (evicted int) {
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.idx, el.Value.(*entry[K, V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the configured capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }

@@ -1,0 +1,103 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAddGetEvictOrder(t *testing.T) {
+	c := New[int, string](2)
+	if ev := c.Add(1, "a"); ev != 0 {
+		t.Fatalf("Add(1) evicted %d", ev)
+	}
+	if ev := c.Add(2, "b"); ev != 0 {
+		t.Fatalf("Add(2) evicted %d", ev)
+	}
+	// Touch 1 so 2 becomes least recently used.
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	if ev := c.Add(3, "c"); ev != 1 {
+		t.Fatalf("Add(3) evicted %d, want 1", ev)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted (LRU)")
+	}
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 should have survived (recently used)")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestAddReplaceDoesNotEvict(t *testing.T) {
+	c := New[string, int](1)
+	c.Add("k", 1)
+	if ev := c.Add("k", 2); ev != 0 {
+		t.Fatalf("replacing Add evicted %d", ev)
+	}
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+}
+
+func TestGetOrAddRace(t *testing.T) {
+	c := New[int, int](4)
+	v, loaded, ev := c.GetOrAdd(7, 70)
+	if v != 70 || loaded || ev != 0 {
+		t.Fatalf("first GetOrAdd = %d, %v, %d", v, loaded, ev)
+	}
+	v, loaded, _ = c.GetOrAdd(7, 71)
+	if v != 70 || !loaded {
+		t.Fatalf("second GetOrAdd = %d, %v; existing value must win", v, loaded)
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	c := New[int, int](0)
+	if c.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamp to 1", c.Cap())
+	}
+	c.Add(1, 1)
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("capacity-1 cache must hold its last entry")
+	}
+}
+
+func TestBoundedUnderChurn(t *testing.T) {
+	const capacity = 8
+	c := New[int, int](capacity)
+	evictions := 0
+	for i := 0; i < 1000; i++ {
+		evictions += c.Add(i, i)
+		if c.Len() > capacity {
+			t.Fatalf("Len %d exceeds capacity %d after %d adds", c.Len(), capacity, i+1)
+		}
+	}
+	if want := 1000 - capacity; evictions != want {
+		t.Fatalf("evictions = %d, want %d", evictions, want)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Add(k, g*1000+i)
+				c.Get(k)
+				c.GetOrAdd(k, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+}

@@ -183,6 +183,11 @@ type UncPredicate func(det engine.Row, unc []float64) bool
 // iteration, the aggregate of the named uncertain column over tuples
 // satisfying pred. The result is a sample of size Iters from the
 // query-result distribution. Supported aggregates: COUNT, SUM, AVG.
+//
+// Iterations whose selection is empty (pred rejects every tuple)
+// yield COUNT = 0, SUM = 0, and — by the repository-wide convention
+// documented on Session.Exec — AVG = 0 rather than NaN, keeping the
+// sample vector finite and bit-identical to the naive strategy.
 func (bt *BundleTable) Estimate(col string, fn engine.AggFunc, pred UncPredicate) ([]float64, error) {
 	schemaIdx, err := bt.Schema.ColIndex(col)
 	if err != nil {
@@ -218,6 +223,7 @@ func (bt *BundleTable) Estimate(col string, fn engine.AggFunc, pred UncPredicate
 		copy(out, sums)
 	case engine.AggAvg:
 		for it := range out {
+			// Empty selection: AVG is 0 by convention (see Session.Exec).
 			if counts[it] > 0 {
 				out[it] = sums[it] / counts[it]
 			}

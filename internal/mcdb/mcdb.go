@@ -120,8 +120,10 @@ func (db *DB) Spec(name string) (*TableSpec, error) {
 	return nil, fmt.Errorf("%w: %q", ErrNoSpec, name)
 }
 
-// realizeSpec materializes one realization of a stochastic table.
-func (db *DB) realizeSpec(spec *TableSpec, r *rng.Stream) (*engine.Table, error) {
+// realizeSpec materializes one realization of a stochastic table,
+// checking ctx every few hundred tuples so a large realization can be
+// aborted mid-build.
+func (db *DB) realizeSpec(ctx context.Context, spec *TableSpec, r *rng.Stream) (*engine.Table, error) {
 	out, err := engine.NewTable(spec.Name, spec.Schema)
 	if err != nil {
 		return nil, err
@@ -130,7 +132,12 @@ func (db *DB) realizeSpec(spec *TableSpec, r *rng.Stream) (*engine.Table, error)
 	if err != nil {
 		return nil, err
 	}
-	for _, outer := range outers {
+	for i, outer := range outers {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row, err := db.realizeTuple(spec, outer, r)
 		if err != nil {
 			return nil, err
@@ -183,10 +190,22 @@ func (db *DB) realizeTuple(spec *TableSpec, outer engine.Row, r *rng.Stream) (en
 
 // Instantiate produces one complete database instance: a clone of the
 // deterministic tables plus one realization of every stochastic table.
+// Callers inside a parallel loop get cancellation from the loop
+// itself; callers holding a context should prefer InstantiateCtx.
 func (db *DB) Instantiate(r *rng.Stream) (*engine.Database, error) {
+	return db.InstantiateCtx(context.Background(), r)
+}
+
+// InstantiateCtx is Instantiate with cancellation: ctx is observed
+// between stochastic tables and every few hundred realized tuples, so
+// a server handler can abort an instantiation mid-build with ctx.Err().
+func (db *DB) InstantiateCtx(ctx context.Context, r *rng.Stream) (*engine.Database, error) {
 	inst := db.Base.Clone()
 	for _, spec := range db.specs {
-		t, err := db.realizeSpec(spec, r)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t, err := db.realizeSpec(ctx, spec, r)
 		if err != nil {
 			return nil, err
 		}

@@ -571,7 +571,7 @@ func TestSessionExplainSQL(t *testing.T) {
 	const sql = "SELECT COUNT(sbp_data.pid) " +
 		"FROM sbp_data JOIN patients ON sbp_data.pid = patients.pid " +
 		"WHERE patients.gender = 'F'"
-	text, data, err := s.ExplainSQL(sql)
+	text, data, err := s.ExplainSQL(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}

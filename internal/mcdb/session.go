@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"modeldata/internal/engine"
+	"modeldata/internal/lru"
 	"modeldata/internal/obs"
 	"modeldata/internal/parallel"
 	"modeldata/internal/rng"
@@ -20,7 +21,18 @@ const (
 	MetricRealizeCacheHits = "mcdb.realize_cache_hits"
 	// MetricRealizeCacheMisses counts bundle realizations paid for.
 	MetricRealizeCacheMisses = "mcdb.realize_cache_misses"
+	// MetricRealizeCacheEvictions counts realized bundle sets dropped
+	// from the session's bounded LRU to stay within its capacity.
+	MetricRealizeCacheEvictions = "mcdb.realize_cache_evictions"
 )
+
+// DefaultBundleCacheCap bounds the bundle-realization cache of a
+// Session created with NewSession. Each entry holds the full bundle
+// tables for one (iterations, seed) pair, so in a long-running process
+// an unbounded map would grow with every distinct seed a caller ever
+// used — a memory leak. Eight entries keep the common
+// repeat-the-same-run case hot while bounding residency.
+const DefaultBundleCacheCap = 8
 
 // This file unifies the two MCDB execution strategies behind one entry
 // point. Historically callers chose between MonteCarloNaive (arbitrary
@@ -86,15 +98,22 @@ type ExecOptions struct {
 
 // Session executes AggQueries over an MCDB, caching bundle
 // realizations so repeated queries against the same (iterations, seed)
-// pay the VG sampling cost once. A Session is safe for concurrent use.
+// pay the VG sampling cost once. The cache is a bounded LRU (see
+// DefaultBundleCacheCap); evictions are counted under
+// MetricRealizeCacheEvictions. A Session is safe for concurrent use.
 type Session struct {
 	db *DB
 
-	mu      sync.Mutex
-	bundles map[bundleKey]map[string]*BundleTable
+	bundles *lru.Cache[bundleKey, map[string]*BundleTable]
 
 	prepMu   sync.Mutex
 	prepared map[string]*engine.Prepared
+
+	// explainMu guards the lazily built seed-0 instantiation that
+	// EXPLAIN plans against; building it once per session keeps
+	// repeated EXPLAINs from paying a full instantiation each call.
+	explainMu   sync.Mutex
+	explainInst *engine.Database
 }
 
 type bundleKey struct {
@@ -102,18 +121,52 @@ type bundleKey struct {
 	seed  uint64
 }
 
-// NewSession opens a query session over the database.
+// NewSession opens a query session over the database with the default
+// bundle-cache capacity.
 func (db *DB) NewSession() *Session {
-	return &Session{db: db, bundles: make(map[bundleKey]map[string]*BundleTable)}
+	return db.NewSessionCache(DefaultBundleCacheCap)
+}
+
+// NewSessionCache opens a query session whose bundle-realization cache
+// holds at most capacity (iterations, seed) entries; capacity < 1 is
+// clamped to 1. Long-running services size this to their per-tenant
+// memory budget.
+func (db *DB) NewSessionCache(capacity int) *Session {
+	return &Session{db: db, bundles: lru.New[bundleKey, map[string]*BundleTable](capacity)}
 }
 
 // Exec runs q for opts.Iterations Monte Carlo iterations under the
 // selected strategy and returns the per-iteration samples. Results for
 // a given (strategy, iterations, seed) are bit-identical at any worker
 // count; ctx cancellation aborts mid-run with ctx.Err().
+//
+// Aggregate semantics over an empty per-iteration selection (every
+// tuple filtered out at that iteration): COUNT and SUM are 0, and AVG
+// is defined as 0 as well — not NaN — so samples stay finite and the
+// naive and bundle strategies agree bit-for-bit. See
+// BundleTable.Estimate for the bundle-side statement of the same
+// convention.
 func (s *Session) Exec(ctx context.Context, q AggQuery, opts ExecOptions) ([]float64, error) {
+	return s.ExecRange(ctx, q, opts, 0, opts.Iterations)
+}
+
+// ExecRange runs only the iteration window [lo, hi) of the
+// opts.Iterations-iteration run Exec would perform, returning hi-lo
+// samples. Windows are the sharding primitive: backends that partition
+// [0, Iterations) into disjoint contiguous windows and concatenate
+// their outputs in index order reproduce the single-node Exec
+// bit-identically, because iteration i draws from substream i of the
+// same seed regardless of which shard runs it. On the bundle strategy
+// the realization covers all Iterations (bundles are per-tuple, not
+// per-iteration) and the window selects from the estimated vector;
+// the session cache amortizes that realization across a shard's
+// queries.
+func (s *Session) ExecRange(ctx context.Context, q AggQuery, opts ExecOptions, lo, hi int) ([]float64, error) {
 	if opts.Iterations <= 0 {
 		return nil, fmt.Errorf("mcdb: iters=%d", opts.Iterations)
+	}
+	if lo < 0 || hi > opts.Iterations || lo > hi {
+		return nil, fmt.Errorf("mcdb: window [%d, %d) outside [0, %d)", lo, hi, opts.Iterations)
 	}
 	spec, err := s.db.Spec(q.Table)
 	if err != nil {
@@ -136,12 +189,14 @@ func (s *Session) Exec(ctx context.Context, q AggQuery, opts ExecOptions) ([]flo
 	span.SetAttr("table", q.Table)
 	span.SetAttr("strategy", strategy.String())
 	span.SetInt("iterations", int64(opts.Iterations))
+	span.SetInt("lo", int64(lo))
+	span.SetInt("hi", int64(hi))
 	defer span.End()
 	switch strategy {
 	case StrategyBundle:
-		return s.execBundle(ctx, spec, q, opts)
+		return s.execBundle(ctx, spec, q, opts, lo, hi)
 	case StrategyNaive:
-		return s.execNaive(ctx, spec, q, opts)
+		return s.execNaive(ctx, spec, q, opts, lo, hi)
 	default:
 		return nil, fmt.Errorf("mcdb: unknown strategy %v", opts.Strategy)
 	}
@@ -152,10 +207,7 @@ func (s *Session) Exec(ctx context.Context, q AggQuery, opts ExecOptions) ([]flo
 func (s *Session) bundlesFor(ctx context.Context, opts ExecOptions) (map[string]*BundleTable, error) {
 	key := bundleKey{iters: opts.Iterations, seed: opts.Seed}
 	reg := parallel.StatsFrom(ctx).Registry()
-	s.mu.Lock()
-	cached, ok := s.bundles[key]
-	s.mu.Unlock()
-	if ok {
+	if cached, ok := s.bundles.Get(key); ok {
 		reg.Counter(MetricRealizeCacheHits).Add(1)
 		return cached, nil
 	}
@@ -164,19 +216,16 @@ func (s *Session) bundlesFor(ctx context.Context, opts ExecOptions) (map[string]
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
 	// A racing realization of the same key produced identical bundles
 	// (same seed, deterministic runtime), so either copy may win.
-	if prior, ok := s.bundles[key]; ok {
-		bundles = prior
-	} else {
-		s.bundles[key] = bundles
+	actual, _, evicted := s.bundles.GetOrAdd(key, bundles)
+	if evicted > 0 {
+		reg.Counter(MetricRealizeCacheEvictions).Add(int64(evicted))
 	}
-	s.mu.Unlock()
-	return bundles, nil
+	return actual, nil
 }
 
-func (s *Session) execBundle(ctx context.Context, spec *TableSpec, q AggQuery, opts ExecOptions) ([]float64, error) {
+func (s *Session) execBundle(ctx context.Context, spec *TableSpec, q AggQuery, opts ExecOptions, lo, hi int) ([]float64, error) {
 	bundles, err := s.bundlesFor(ctx, opts)
 	if err != nil {
 		return nil, err
@@ -188,16 +237,23 @@ func (s *Session) execBundle(ctx context.Context, spec *TableSpec, q AggQuery, o
 	if q.WhereDet != nil {
 		bt = bt.FilterDet(q.WhereDet)
 	}
-	return bt.Estimate(q.Col, q.Fn, q.WhereUnc)
+	full, err := bt.Estimate(q.Col, q.Fn, q.WhereUnc)
+	if err != nil {
+		return nil, err
+	}
+	if lo == 0 && hi == len(full) {
+		return full, nil
+	}
+	return append([]float64(nil), full[lo:hi]...), nil
 }
 
-func (s *Session) execNaive(ctx context.Context, spec *TableSpec, q AggQuery, opts ExecOptions) ([]float64, error) {
+func (s *Session) execNaive(ctx context.Context, spec *TableSpec, q AggQuery, opts ExecOptions, lo, hi int) ([]float64, error) {
 	colIdx, err := spec.Schema.ColIndex(q.Col)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, opts.Iterations)
-	err = parallel.ForStreams(ctx, rng.New(opts.Seed), opts.Iterations, parallel.Options{Workers: opts.Workers},
+	out := make([]float64, hi-lo)
+	err = parallel.ForStreamsRange(ctx, rng.New(opts.Seed), opts.Iterations, lo, hi, parallel.Options{Workers: opts.Workers},
 		func(i int, r *rng.Stream) error {
 			inst, err := s.db.Instantiate(r)
 			if err != nil {
@@ -227,12 +283,14 @@ func (s *Session) execNaive(ctx context.Context, spec *TableSpec, q AggQuery, op
 			}
 			switch q.Fn {
 			case engine.AggCount:
-				out[i] = float64(count)
+				out[i-lo] = float64(count)
 			case engine.AggSum:
-				out[i] = sum
+				out[i-lo] = sum
 			case engine.AggAvg:
+				// Empty selection: AVG is 0 by convention (matches the
+				// bundle path in BundleTable.Estimate; see Exec).
 				if count > 0 {
-					out[i] = sum / float64(count)
+					out[i-lo] = sum / float64(count)
 				}
 			}
 			return nil
@@ -279,8 +337,19 @@ func (s *Session) Prepared(sql string) (*engine.Prepared, error) {
 // given (iterations, seed) are bit-identical at any worker count.
 // opts.Strategy is ignored: SQL always runs on full instantiations.
 func (s *Session) ExecSQL(ctx context.Context, sql string, opts ExecOptions) ([]float64, error) {
+	return s.ExecSQLRange(ctx, sql, opts, 0, opts.Iterations)
+}
+
+// ExecSQLRange runs only the iteration window [lo, hi) of the
+// opts.Iterations-iteration run ExecSQL would perform, returning hi-lo
+// samples — the SQL analogue of ExecRange, with the same
+// shard-and-concatenate bit-identity guarantee.
+func (s *Session) ExecSQLRange(ctx context.Context, sql string, opts ExecOptions, lo, hi int) ([]float64, error) {
 	if opts.Iterations <= 0 {
 		return nil, fmt.Errorf("mcdb: iters=%d", opts.Iterations)
+	}
+	if lo < 0 || hi > opts.Iterations || lo > hi {
+		return nil, fmt.Errorf("mcdb: window [%d, %d) outside [0, %d)", lo, hi, opts.Iterations)
 	}
 	p, err := s.Prepared(sql)
 	if err != nil {
@@ -289,9 +358,11 @@ func (s *Session) ExecSQL(ctx context.Context, sql string, opts ExecOptions) ([]
 	ctx, span := obs.Start(ctx, "mcdb.sql")
 	span.SetAttr("sql", sql)
 	span.SetInt("iterations", int64(opts.Iterations))
+	span.SetInt("lo", int64(lo))
+	span.SetInt("hi", int64(hi))
 	defer span.End()
-	out := make([]float64, opts.Iterations)
-	err = parallel.ForStreams(ctx, rng.New(opts.Seed), opts.Iterations, parallel.Options{Workers: opts.Workers},
+	out := make([]float64, hi-lo)
+	err = parallel.ForStreamsRange(ctx, rng.New(opts.Seed), opts.Iterations, lo, hi, parallel.Options{Workers: opts.Workers},
 		func(i int, r *rng.Stream) error {
 			inst, err := s.db.Instantiate(r)
 			if err != nil {
@@ -301,7 +372,7 @@ func (s *Session) ExecSQL(ctx context.Context, sql string, opts ExecOptions) ([]
 			if err != nil {
 				return err
 			}
-			out[i] = v
+			out[i-lo] = v
 			return nil
 		})
 	if err != nil {
@@ -313,13 +384,16 @@ func (s *Session) ExecSQL(ctx context.Context, sql string, opts ExecOptions) ([]
 // ExplainSQL renders the plan ExecSQL would run, in both text and JSON
 // form. Plans depend on table statistics, so the statement is
 // explained against a deterministic seed-0 instantiation — the same
-// row counts (and thus the same plan) every instantiation gets.
-func (s *Session) ExplainSQL(sql string) (string, []byte, error) {
+// row counts (and thus the same plan) every instantiation gets. The
+// instantiation is built at most once per session (under ctx, so a
+// server handler can abort a slow build) and reused by every later
+// EXPLAIN, whatever its statement.
+func (s *Session) ExplainSQL(ctx context.Context, sql string) (string, []byte, error) {
 	p, err := s.Prepared(sql)
 	if err != nil {
 		return "", nil, err
 	}
-	inst, err := s.db.Instantiate(rng.New(0))
+	inst, err := s.explainInstance(ctx)
 	if err != nil {
 		return "", nil, err
 	}
@@ -332,4 +406,21 @@ func (s *Session) ExplainSQL(sql string) (string, []byte, error) {
 		return "", nil, err
 	}
 	return tree.Text(), data, nil
+}
+
+// explainInstance returns the session's cached seed-0 instantiation,
+// building it on first use. The build is serialized so concurrent
+// first EXPLAINs pay for one instantiation, not one each.
+func (s *Session) explainInstance(ctx context.Context) (*engine.Database, error) {
+	s.explainMu.Lock()
+	defer s.explainMu.Unlock()
+	if s.explainInst != nil {
+		return s.explainInst, nil
+	}
+	inst, err := s.db.InstantiateCtx(ctx, rng.New(0))
+	if err != nil {
+		return nil, err
+	}
+	s.explainInst = inst
+	return inst, nil
 }

@@ -1,0 +1,310 @@
+package mcdb
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/parallel"
+)
+
+// TestBundleCacheBoundedUnderSeedChurn is the long-running-server
+// regression: a Session hammered with distinct (iterations, seed)
+// configurations must keep its realization cache bounded, counting
+// evictions, instead of holding every bundle set ever realized.
+func TestBundleCacheBoundedUnderSeedChurn(t *testing.T) {
+	db := sbpFixture(t, 6)
+	s := db.NewSession()
+	st := parallel.NewStats()
+	ctx := parallel.WithStats(context.Background(), st)
+	q := AggQuery{Table: "sbp_data", Col: "sbp", Fn: engine.AggAvg}
+
+	const churn = 40
+	for seed := uint64(0); seed < churn; seed++ {
+		if _, err := s.Exec(ctx, q, ExecOptions{Strategy: StrategyBundle, Iterations: 5, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.bundles.Len(); got > DefaultBundleCacheCap {
+		t.Fatalf("bundle cache holds %d entries, capacity %d", got, DefaultBundleCacheCap)
+	}
+	reg := st.Registry()
+	if ev := reg.Counter(MetricRealizeCacheEvictions).Value(); ev != churn-DefaultBundleCacheCap {
+		t.Fatalf("evictions = %d, want %d", ev, churn-DefaultBundleCacheCap)
+	}
+	if misses := reg.Counter(MetricRealizeCacheMisses).Value(); misses != churn {
+		t.Fatalf("misses = %d, want %d", misses, churn)
+	}
+
+	// Recently used seeds still hit; evicted ones re-realize.
+	if _, err := s.Exec(ctx, q, ExecOptions{Strategy: StrategyBundle, Iterations: 5, Seed: churn - 1}); err != nil {
+		t.Fatal(err)
+	}
+	if hits := reg.Counter(MetricRealizeCacheHits).Value(); hits != 1 {
+		t.Fatalf("hits = %d, want 1 for a recently cached seed", hits)
+	}
+
+	// A tiny explicit capacity is honored too.
+	s2 := db.NewSessionCache(2)
+	for seed := uint64(0); seed < 10; seed++ {
+		if _, err := s2.Exec(ctx, q, ExecOptions{Strategy: StrategyBundle, Iterations: 5, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.bundles.Len(); got > 2 {
+		t.Fatalf("capacity-2 cache holds %d entries", got)
+	}
+}
+
+// TestAvgEmptySelectionRowVsBundle pins the empty-selection AVG
+// convention (0, not NaN) and that both strategies agree bit-for-bit
+// over a predicate that empties out some iterations entirely.
+func TestAvgEmptySelectionRowVsBundle(t *testing.T) {
+	db := sbpFixture(t, 4)
+	s := db.NewSession()
+	// SBP draws are N(120, 15); a 165 mmHg floor leaves most
+	// iterations with zero qualifying tuples out of only 4 patients.
+	pred := func(det engine.Row, unc []float64) bool { return unc[0] > 165 }
+	opts := ExecOptions{Iterations: 60, Seed: 11}
+
+	for _, fn := range []engine.AggFunc{engine.AggAvg, engine.AggSum, engine.AggCount} {
+		q := AggQuery{Table: "sbp_data", Col: "sbp", Fn: fn, WhereUnc: pred}
+		opts.Strategy = StrategyBundle
+		bundle, err := s.Exec(context.Background(), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Strategy = StrategyNaive
+		naive, err := s.Exec(context.Background(), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		empties := 0
+		for i := range bundle {
+			if bundle[i] != naive[i] {
+				t.Fatalf("%v iter %d: bundle %v != naive %v", fn, i, bundle[i], naive[i])
+			}
+			if bundle[i] != bundle[i] { // NaN check
+				t.Fatalf("%v iter %d: NaN leaked into samples", fn, i)
+			}
+			if bundle[i] == 0 {
+				empties++
+			}
+		}
+		if fn == engine.AggAvg && empties == 0 {
+			t.Fatal("predicate never emptied an iteration; test exercises nothing")
+		}
+	}
+}
+
+// TestExecRangeShardsBitIdentical checks the serving-layer shard
+// invariant at the session level: disjoint iteration windows
+// concatenated in index order equal the full run, for the naive,
+// bundle, and SQL paths.
+func TestExecRangeShardsBitIdentical(t *testing.T) {
+	db := sbpFixture(t, 8)
+	s := db.NewSession()
+	const iters = 30
+	windows := [][2]int{{0, 9}, {9, 17}, {17, 30}}
+
+	check := func(name string, full []float64, part func(lo, hi int) ([]float64, error)) {
+		t.Helper()
+		if len(full) != iters {
+			t.Fatalf("%s: full run returned %d samples", name, len(full))
+		}
+		got := make([]float64, 0, iters)
+		for _, w := range windows {
+			p, err := part(w[0], w[1])
+			if err != nil {
+				t.Fatalf("%s window %v: %v", name, w, err)
+			}
+			if len(p) != w[1]-w[0] {
+				t.Fatalf("%s window %v: %d samples", name, w, len(p))
+			}
+			got = append(got, p...)
+		}
+		for i := range full {
+			if got[i] != full[i] {
+				t.Fatalf("%s iter %d: sharded %v != full %v", name, i, got[i], full[i])
+			}
+		}
+	}
+
+	ctx := context.Background()
+	for _, strat := range []Strategy{StrategyNaive, StrategyBundle} {
+		q := AggQuery{Table: "sbp_data", Col: "sbp", Fn: engine.AggAvg}
+		opts := ExecOptions{Strategy: strat, Iterations: iters, Seed: 3, Workers: 4}
+		full, err := s.Exec(ctx, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(strat.String(), full, func(lo, hi int) ([]float64, error) {
+			return s.ExecRange(ctx, q, opts, lo, hi)
+		})
+	}
+
+	const sql = "SELECT AVG(sbp) FROM sbp_data"
+	opts := ExecOptions{Iterations: iters, Seed: 3, Workers: 4}
+	full, err := s.ExecSQL(ctx, sql, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sql", full, func(lo, hi int) ([]float64, error) {
+		return s.ExecSQLRange(ctx, sql, opts, lo, hi)
+	})
+
+	if _, err := s.ExecRange(ctx, AggQuery{Table: "sbp_data", Col: "sbp", Fn: engine.AggAvg},
+		ExecOptions{Iterations: iters, Seed: 3}, 5, 40); err == nil {
+		t.Fatal("out-of-range window must error")
+	}
+}
+
+// TestExplainSQLCachedInstantiation checks the server-readiness fix:
+// the seed-0 explain instantiation is built once per session, and a
+// canceled context aborts the build instead of running to completion.
+func TestExplainSQLCachedInstantiation(t *testing.T) {
+	db := sbpFixture(t, 5)
+	s := db.NewSession()
+	ctx := context.Background()
+	const sql = "SELECT COUNT(pid) FROM sbp_data"
+	if _, _, err := s.ExplainSQL(ctx, sql); err != nil {
+		t.Fatal(err)
+	}
+	inst1 := s.explainInst
+	if inst1 == nil {
+		t.Fatal("explain instantiation not cached")
+	}
+	if _, _, err := s.ExplainSQL(ctx, "SELECT SUM(sbp) FROM sbp_data"); err != nil {
+		t.Fatal(err)
+	}
+	if s.explainInst != inst1 {
+		t.Fatal("second EXPLAIN rebuilt the instantiation")
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	s2 := db.NewSession()
+	if _, _, err := s2.ExplainSQL(canceled, sql); err == nil {
+		t.Fatal("ExplainSQL ignored a canceled context")
+	}
+	if s2.explainInst != nil {
+		t.Fatal("canceled EXPLAIN must not cache a partial instantiation")
+	}
+}
+
+// TestSessionConcurrentHammer drives one Session from many goroutines
+// mixing every public entry point under -race, asserting each caller
+// sees samples bit-identical to a serial reference run.
+func TestSessionConcurrentHammer(t *testing.T) {
+	db := sbpFixture(t, 6)
+	ref := db.NewSession()
+	ctx := context.Background()
+
+	aggQ := AggQuery{Table: "sbp_data", Col: "sbp", Fn: engine.AggAvg}
+	const sql = "SELECT AVG(sbp_data.sbp) FROM sbp_data JOIN patients ON sbp_data.pid = patients.pid WHERE patients.gender = 'M'"
+	const explainSQL = "SELECT COUNT(pid) FROM sbp_data"
+
+	seeds := []uint64{1, 2, 3}
+	wantBundle := make(map[uint64][]float64)
+	wantNaive := make(map[uint64][]float64)
+	wantSQL := make(map[uint64][]float64)
+	for _, seed := range seeds {
+		opts := ExecOptions{Iterations: 12, Seed: seed, Workers: 1}
+		opts.Strategy = StrategyBundle
+		b, err := ref.Exec(ctx, aggQ, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBundle[seed] = b
+		opts.Strategy = StrategyNaive
+		nv, err := ref.Exec(ctx, aggQ, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNaive[seed] = nv
+		sq, err := ref.ExecSQL(ctx, sql, ExecOptions{Iterations: 12, Seed: seed, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSQL[seed] = sq
+	}
+	wantExplain, _, err := ref.ExplainSQL(ctx, explainSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := db.NewSession()
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				seed := seeds[(g+round)%len(seeds)]
+				opts := ExecOptions{Iterations: 12, Seed: seed, Workers: 2}
+				switch (g + round) % 4 {
+				case 0:
+					opts.Strategy = StrategyBundle
+					got, err := s.Exec(ctx, aggQ, opts)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range got {
+						if got[i] != wantBundle[seed][i] {
+							t.Errorf("goroutine %d: bundle seed %d iter %d: %v != %v", g, seed, i, got[i], wantBundle[seed][i])
+							return
+						}
+					}
+				case 1:
+					opts.Strategy = StrategyNaive
+					got, err := s.Exec(ctx, aggQ, opts)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range got {
+						if got[i] != wantNaive[seed][i] {
+							t.Errorf("goroutine %d: naive seed %d iter %d: %v != %v", g, seed, i, got[i], wantNaive[seed][i])
+							return
+						}
+					}
+				case 2:
+					got, err := s.ExecSQL(ctx, sql, ExecOptions{Iterations: 12, Seed: seed, Workers: 2})
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range got {
+						if got[i] != wantSQL[seed][i] {
+							t.Errorf("goroutine %d: sql seed %d iter %d: %v != %v", g, seed, i, got[i], wantSQL[seed][i])
+							return
+						}
+					}
+				case 3:
+					if _, err := s.Prepared(sql); err != nil {
+						errc <- err
+						return
+					}
+					text, _, err := s.ExplainSQL(ctx, explainSQL)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !strings.Contains(text, "scan sbp_data") || text != wantExplain {
+						t.Errorf("goroutine %d: EXPLAIN text diverged", g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

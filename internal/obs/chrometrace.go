@@ -32,11 +32,23 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// Synthetic args keys carrying span identity in the exported trace.
+// The "span." prefix is reserved: a user attr under it is overwritten
+// by the synthetic value, and unprefixed user attrs (including ones
+// literally named "id" or "parent") pass through untouched — so no
+// attr name a caller picks can corrupt span parentage.
+const (
+	// ArgsSpanID is the args key holding the span's own id.
+	ArgsSpanID = "span.id"
+	// ArgsSpanParent is the args key holding the parent span's id.
+	ArgsSpanParent = "span.parent"
+)
+
 // WriteChromeTrace writes every recorded span as a Chrome trace-event
 // JSON document. Timestamps are microseconds relative to the earliest
-// span start; each event's args carry the span id, parent id, and
-// attributes. Events appear in span-creation order (deterministic for
-// a deterministic clock and schedule).
+// span start; each event's args carry the span id (ArgsSpanID), parent
+// id (ArgsSpanParent), and attributes. Events appear in span-creation
+// order (deterministic for a deterministic clock and schedule).
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Snapshot()
 	doc := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
@@ -48,13 +60,15 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 		for _, sp := range spans {
-			args := map[string]string{
-				"id":     formatID(sp.ID),
-				"parent": formatID(sp.Parent),
-			}
+			// User attrs first, synthetic identity last: the reserved
+			// span.* keys always win, so parentage survives any attr
+			// name (a user attr named "id" used to clobber it here).
+			args := make(map[string]string, len(sp.Attrs)+2)
 			for _, a := range sp.Attrs {
 				args[a.Key] = a.Value
 			}
+			args[ArgsSpanID] = formatID(sp.ID)
+			args[ArgsSpanParent] = formatID(sp.Parent)
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: sp.Name,
 				Cat:  "span",

@@ -183,11 +183,53 @@ func TestChromeTraceOutput(t *testing.T) {
 	if stage.Ts != 2000 || stage.Dur != 1000 {
 		t.Fatalf("stage event = %+v", stage)
 	}
-	if stage.Args["parent"] != run.Args["id"] {
-		t.Fatalf("stage parent %q != run id %q", stage.Args["parent"], run.Args["id"])
+	if stage.Args[ArgsSpanParent] != run.Args[ArgsSpanID] {
+		t.Fatalf("stage parent %q != run id %q", stage.Args[ArgsSpanParent], run.Args[ArgsSpanID])
 	}
 	if stage.Args["kind"] != "map" {
 		t.Fatalf("stage attrs missing: %+v", stage.Args)
+	}
+}
+
+// TestChromeTraceAttrCollision is the regression for the silent
+// parentage corruption: user attrs named "id"/"parent" must export
+// untouched, and even an attr under the reserved span.* prefix cannot
+// displace the synthetic identity keys.
+func TestChromeTraceAttrCollision(t *testing.T) {
+	mc := NewManualClock(epoch)
+	tr := NewTracerClock(mc)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "run")
+	_, child := Start(ctx, "stage")
+	child.SetAttr("id", "user-id")         // used to overwrite the span id
+	child.SetAttr("parent", "user-parent") // used to overwrite the parent link
+	child.SetAttr("span.id", "evil")       // reserved prefix: synthetic wins
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	run, stage := doc.TraceEvents[0], doc.TraceEvents[1]
+	if stage.Args[ArgsSpanParent] != run.Args[ArgsSpanID] {
+		t.Fatalf("colliding attrs corrupted parentage: parent %q, run id %q",
+			stage.Args[ArgsSpanParent], run.Args[ArgsSpanID])
+	}
+	if stage.Args[ArgsSpanID] == "evil" {
+		t.Fatal("reserved span.id key lost to a user attr")
+	}
+	if stage.Args["id"] != "user-id" || stage.Args["parent"] != "user-parent" {
+		t.Fatalf("unprefixed user attrs dropped: %+v", stage.Args)
 	}
 }
 

@@ -32,6 +32,7 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -207,11 +208,30 @@ func For(ctx context.Context, n int, opts Options, fn func(i int) error) error {
 // injector that eventually lets every iteration succeed are
 // bit-identical to the failure-free run.
 func ForStreams(ctx context.Context, parent *rng.Stream, n int, opts Options, fn func(i int, r *rng.Stream) error) error {
+	return ForStreamsRange(ctx, parent, n, 0, n, opts, fn)
+}
+
+// ForStreamsRange runs the window [lo, hi) of an n-iteration
+// deterministic loop: substreams are pre-split from parent exactly as
+// ForStreams would split them for the full n-iteration run, but only
+// the window's iterations execute (fn still receives the global index
+// i ∈ [lo, hi)). This is the sharding primitive: backends that
+// partition [0, n) into disjoint contiguous windows and concatenate
+// their outputs in index order reproduce the single-node run
+// bit-identically, because iteration i draws from substream i no
+// matter which shard runs it. The parent stream is advanced exactly n
+// splits regardless of the window (even an empty one), preserving the
+// ForStreams trajectory for callers that keep drawing afterwards.
+func ForStreamsRange(ctx context.Context, parent *rng.Stream, n, lo, hi int, opts Options, fn func(i int, r *rng.Stream) error) error {
 	if n <= 0 {
 		return nil
 	}
+	if lo < 0 || hi > n || lo > hi {
+		return fmt.Errorf("parallel: window [%d, %d) outside [0, %d)", lo, hi, n)
+	}
 	streams := parent.SplitN(n)
-	return For(ctx, n, opts, func(i int) error {
+	return For(ctx, hi-lo, opts, func(j int) error {
+		i := lo + j
 		sub := *streams[i] // pristine per-attempt copy: retries replay the substream
 		return fn(i, &sub)
 	})

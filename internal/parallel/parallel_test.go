@@ -193,3 +193,58 @@ func TestWorkersFromDefaults(t *testing.T) {
 		t.Fatal("zero workers accepted")
 	}
 }
+
+// TestForStreamsRangeShardsBitIdentical checks the sharding primitive:
+// disjoint windows of one n-iteration loop, concatenated in index
+// order, reproduce the full ForStreams run exactly — and the parent
+// stream ends on the same trajectory either way.
+func TestForStreamsRangeShardsBitIdentical(t *testing.T) {
+	const n = 23
+	draw := func(out []float64) func(i int, r *rng.Stream) error {
+		return func(i int, r *rng.Stream) error {
+			out[i] = r.Normal(0, 1) + float64(i)
+			return nil
+		}
+	}
+
+	full := make([]float64, n)
+	parentFull := rng.New(99)
+	if err := ForStreams(context.Background(), parentFull, n, Options{Workers: 4}, draw(full)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each shard re-seeds its own parent from the query seed — the
+	// substream for iteration i is then identical on every shard.
+	sharded := make([]float64, n)
+	var lastParent *rng.Stream
+	for _, w := range [][2]int{{0, 7}, {7, 7}, {7, 16}, {16, n}} { // includes an empty window
+		parent := rng.New(99)
+		if err := ForStreamsRange(context.Background(), parent, n, w[0], w[1], Options{Workers: 3}, draw(sharded)); err != nil {
+			t.Fatal(err)
+		}
+		lastParent = parent
+	}
+	for i := range full {
+		if sharded[i] != full[i] {
+			t.Fatalf("iter %d: sharded %v != full %v", i, sharded[i], full[i])
+		}
+	}
+	// Every call advances its parent exactly n splits, window or not,
+	// matching the ForStreams trajectory contract.
+	ref := rng.New(99)
+	for i := 0; i < n; i++ {
+		ref.Split()
+	}
+	if ref.Uint64() != lastParent.Uint64() {
+		t.Fatal("parent stream trajectory diverged from split count contract")
+	}
+}
+
+func TestForStreamsRangeBadWindow(t *testing.T) {
+	for _, w := range [][2]int{{-1, 2}, {0, 11}, {5, 4}} {
+		err := ForStreamsRange(context.Background(), rng.New(1), 10, w[0], w[1], Options{}, func(int, *rng.Stream) error { return nil })
+		if err == nil {
+			t.Fatalf("window %v: expected error", w)
+		}
+	}
+}

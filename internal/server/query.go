@@ -1,0 +1,454 @@
+package server
+
+// The query surface: JSON request/response types and the two
+// execution entry points (structured aggregate queries and SQL), both
+// answering through the bounded result cache. Responses carry the full
+// distribution summary plus one page of raw samples; the cache stores
+// the complete sample vector so later pages of a cached query never
+// re-execute.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/mcdb"
+	"modeldata/internal/obs"
+	"modeldata/internal/parallel"
+)
+
+// Predicate is one conjunct of a query's WHERE clause. Numeric
+// comparisons set Value; string equality tests set Str. Predicates on
+// a spec's uncertain columns are evaluated against each Monte Carlo
+// realization; the rest filter deterministic attributes once.
+type Predicate struct {
+	Col   string  `json:"col"`
+	Op    string  `json:"op"` // eq, ne, lt, le, gt, ge (or =, !=, <, <=, >, >=)
+	Value float64 `json:"value,omitempty"`
+	Str   *string `json:"str,omitempty"`
+}
+
+// QueryRequest asks for one aggregate over a stochastic table:
+// SELECT fn(col) FROM table WHERE where..., run for iterations Monte
+// Carlo iterations under the tenant's seed namespace.
+type QueryRequest struct {
+	Tenant     string      `json:"tenant"`
+	Table      string      `json:"table"`
+	Col        string      `json:"col"`
+	Fn         string      `json:"fn"` // count, sum, avg
+	Where      []Predicate `json:"where,omitempty"`
+	Iterations int         `json:"iterations"`
+	Seed       uint64      `json:"seed"`
+	// Workers is the per-query worker budget (clamped to the server's
+	// MaxWorkers and divided across shards); 0 asks for the maximum.
+	Workers  int    `json:"workers,omitempty"`
+	Strategy string `json:"strategy,omitempty"` // auto, naive, bundle
+	// Offset/Limit page through the sample vector; Limit 0 means one
+	// full page (the server's PageSize).
+	Offset int `json:"offset,omitempty"`
+	Limit  int `json:"limit,omitempty"`
+}
+
+// SQLRequest runs a scalar SELECT once per Monte Carlo instantiation,
+// or (with Explain) returns its cost-based plan without executing.
+type SQLRequest struct {
+	Tenant     string `json:"tenant"`
+	SQL        string `json:"sql"`
+	Explain    bool   `json:"explain,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	Offset     int    `json:"offset,omitempty"`
+	Limit      int    `json:"limit,omitempty"`
+}
+
+// Summary is the distribution summary of the full sample vector
+// (mcdb.Estimate flattened — its quantile map has float keys, which
+// encoding/json cannot marshal).
+type Summary struct {
+	N        int     `json:"n"`
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+	CI95     float64 `json:"ci95"`
+	Median   float64 `json:"median"`
+}
+
+// QueryResponse answers a QueryRequest. EffectiveSeed is the namespaced
+// seed actually executed: a plain mcdb.Session run with it reproduces
+// Samples exactly, shards or not.
+type QueryResponse struct {
+	Tenant        string  `json:"tenant"`
+	EffectiveSeed uint64  `json:"effective_seed"`
+	Iterations    int     `json:"iterations"`
+	Shards        int     `json:"shards"`
+	Cached        bool    `json:"cached"`
+	Summary       Summary `json:"summary"`
+	Offset        int     `json:"offset"`
+	// NextOffset is the offset of the next page, or -1 when Samples
+	// ends the vector.
+	NextOffset int       `json:"next_offset"`
+	Samples    []float64 `json:"samples"`
+}
+
+// SQLResponse answers an SQLRequest. For Explain requests only the
+// plan fields are set.
+type SQLResponse struct {
+	QueryResponse
+	Plan     string          `json:"plan,omitempty"`
+	PlanJSON json.RawMessage `json:"plan_json,omitempty"`
+}
+
+// Query executes a structured aggregate query for one tenant.
+func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	fn, err := parseAgg(req.Fn)
+	if err != nil {
+		return nil, err
+	}
+	strat, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkIterations(req.Iterations); err != nil {
+		return nil, err
+	}
+	t, release, err := s.admit(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx = s.requestContext(ctx)
+	ctx, span := obs.Start(ctx, "server.query")
+	span.SetAttr("tenant", req.Tenant)
+	span.SetAttr("table", req.Table)
+	defer span.End()
+
+	spec, err := t.db.Spec(req.Table)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	preds, err := compileWhere(spec, req.Where)
+	if err != nil {
+		return nil, err
+	}
+	q := mcdb.AggQuery{Table: req.Table, Col: req.Col, Fn: fn,
+		WhereDet: preds.det, WhereUnc: preds.unc}
+	key := resultKey{tenant: req.Tenant, kind: "agg",
+		text: canonicalAgg(req, strat, preds), seed: req.Seed, iters: req.Iterations}
+	samples, cached, err := s.results(key, func() ([]float64, error) {
+		opts := mcdb.ExecOptions{
+			Strategy:   strat,
+			Iterations: req.Iterations,
+			Seed:       s.EffectiveSeed(req.Tenant, req.Seed),
+		}
+		return s.sharded(ctx, t, req.Iterations, s.workerBudget(req.Workers),
+			func(ctx context.Context, sess *mcdb.Session, workers, lo, hi int) ([]float64, error) {
+				o := opts
+				o.Workers = workers
+				return sess.ExecRange(ctx, q, o, lo, hi)
+			})
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Counter(MetricQueries).Inc()
+	resp, err := s.respond(req.Tenant, req.Seed, req.Iterations, req.Offset, req.Limit, samples, cached)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// SQL executes (or explains) a scalar SELECT for one tenant.
+func (s *Server) SQL(ctx context.Context, req SQLRequest) (*SQLResponse, error) {
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, badRequestf("sql is required")
+	}
+	if !req.Explain {
+		if err := s.checkIterations(req.Iterations); err != nil {
+			return nil, err
+		}
+	}
+	t, release, err := s.admit(req.Tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	ctx = s.requestContext(ctx)
+	ctx, span := obs.Start(ctx, "server.sql")
+	span.SetAttr("tenant", req.Tenant)
+	span.SetAttr("sql", req.SQL)
+	defer span.End()
+
+	if req.Explain {
+		// Plans are statistics-dependent but instantiation-stable, so
+		// shard 0's session (with its cached seed-0 instantiation)
+		// speaks for all shards.
+		text, data, err := t.shards[0].ExplainSQL(ctx, req.SQL)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		s.reg.Counter(MetricExplains).Inc()
+		return &SQLResponse{
+			QueryResponse: QueryResponse{Tenant: req.Tenant, Shards: len(t.shards), NextOffset: -1},
+			Plan:          text,
+			PlanJSON:      json.RawMessage(data),
+		}, nil
+	}
+
+	key := resultKey{tenant: req.Tenant, kind: "sql", text: req.SQL,
+		seed: req.Seed, iters: req.Iterations}
+	samples, cached, err := s.results(key, func() ([]float64, error) {
+		seed := s.EffectiveSeed(req.Tenant, req.Seed)
+		return s.sharded(ctx, t, req.Iterations, s.workerBudget(req.Workers),
+			func(ctx context.Context, sess *mcdb.Session, workers, lo, hi int) ([]float64, error) {
+				o := mcdb.ExecOptions{Iterations: req.Iterations, Seed: seed, Workers: workers}
+				return sess.ExecSQLRange(ctx, req.SQL, o, lo, hi)
+			})
+	})
+	if err != nil {
+		// A parse error surfaces here (the statement is prepared inside
+		// the shard run); report it as the client's fault.
+		if _, ok := err.(*StatusError); !ok && ctx.Err() == nil {
+			err = badRequestf("%v", err)
+		}
+		return nil, err
+	}
+	s.reg.Counter(MetricSQL).Inc()
+	resp, err := s.respond(req.Tenant, req.Seed, req.Iterations, req.Offset, req.Limit, samples, cached)
+	if err != nil {
+		return nil, err
+	}
+	return &SQLResponse{QueryResponse: *resp}, nil
+}
+
+// results answers key from the cache or computes, stores, and counts.
+// Two racing misses on the same key both compute, but determinism makes
+// their vectors identical, so either store is correct.
+func (s *Server) results(key resultKey, compute func() ([]float64, error)) ([]float64, bool, error) {
+	if v, ok := s.cache.Get(key); ok {
+		s.reg.Counter(MetricCacheHits).Inc()
+		return v, true, nil
+	}
+	s.reg.Counter(MetricCacheMisses).Inc()
+	v, err := compute()
+	if err != nil {
+		return nil, false, err
+	}
+	if evicted := s.cache.Add(key, v); evicted > 0 {
+		s.reg.Counter(MetricCacheEvictions).Add(int64(evicted))
+	}
+	return v, false, nil
+}
+
+// respond assembles the common response: full-vector summary plus the
+// requested page of samples.
+func (s *Server) respond(tenant string, seed uint64, iters, offset, limit int, samples []float64, cached bool) (*QueryResponse, error) {
+	page, next, err := s.paginate(samples, offset, limit)
+	if err != nil {
+		return nil, err
+	}
+	est, err := mcdb.Summarize(samples)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResponse{
+		Tenant:        tenant,
+		EffectiveSeed: s.EffectiveSeed(tenant, seed),
+		Iterations:    iters,
+		Shards:        s.cfg.Shards,
+		Cached:        cached,
+		Summary: Summary{N: est.N, Mean: est.Mean, Variance: est.Variance,
+			CI95: est.CI95, Median: est.Quantiles[0.5]},
+		Offset:     offset,
+		NextOffset: next,
+		Samples:    page,
+	}, nil
+}
+
+// paginate selects [offset, offset+limit) of the vector, clamping
+// limit to the server page size. next is -1 when the page exhausts the
+// vector.
+func (s *Server) paginate(samples []float64, offset, limit int) (page []float64, next int, err error) {
+	if offset < 0 || offset > len(samples) {
+		return nil, 0, badRequestf("offset %d outside [0, %d]", offset, len(samples))
+	}
+	if limit <= 0 || limit > s.cfg.PageSize {
+		limit = s.cfg.PageSize
+	}
+	end := offset + limit
+	if end > len(samples) {
+		end = len(samples)
+	}
+	next = end
+	if end == len(samples) {
+		next = -1
+	}
+	return samples[offset:end:end], next, nil
+}
+
+// requestContext attaches the server-wide stats collector (so session
+// metrics land in the server registry) and, when tracing is on, the
+// current tracer.
+func (s *Server) requestContext(ctx context.Context) context.Context {
+	ctx = parallel.WithStats(ctx, s.stats)
+	if tr := s.tracer.Load(); tr != nil {
+		ctx = obs.WithTracer(ctx, tr)
+	}
+	return ctx
+}
+
+// workerBudget clamps a requested worker count to [1, MaxWorkers],
+// with 0 (unset) asking for the maximum.
+func (s *Server) workerBudget(req int) int {
+	if req <= 0 || req > s.cfg.MaxWorkers {
+		return s.cfg.MaxWorkers
+	}
+	return req
+}
+
+func (s *Server) checkIterations(iters int) error {
+	if iters <= 0 {
+		return badRequestf("iterations must be positive, got %d", iters)
+	}
+	if iters > s.cfg.MaxIterations {
+		return badRequestf("iterations %d exceeds server limit %d", iters, s.cfg.MaxIterations)
+	}
+	return nil
+}
+
+func parseAgg(fn string) (engine.AggFunc, error) {
+	switch strings.ToLower(fn) {
+	case "count":
+		return engine.AggCount, nil
+	case "sum":
+		return engine.AggSum, nil
+	case "avg":
+		return engine.AggAvg, nil
+	}
+	return 0, badRequestf("unknown aggregate %q (want count, sum, or avg)", fn)
+}
+
+func parseStrategy(s string) (mcdb.Strategy, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return mcdb.StrategyAuto, nil
+	case "naive":
+		return mcdb.StrategyNaive, nil
+	case "bundle":
+		return mcdb.StrategyBundle, nil
+	}
+	return 0, badRequestf("unknown strategy %q (want auto, naive, or bundle)", s)
+}
+
+// compiled holds a WHERE clause lowered onto the two predicate slots
+// of mcdb.AggQuery, plus the canonical text of each conjunct for the
+// cache key.
+type compiled struct {
+	det   func(engine.Row) bool
+	unc   mcdb.UncPredicate
+	canon []string
+}
+
+// compileWhere routes each predicate to the deterministic or uncertain
+// slot by whether its column is one the spec's VG function produces.
+// Comparisons go through engine.Value's exact total order, so int
+// columns compare correctly against float literals.
+func compileWhere(spec *mcdb.TableSpec, preds []Predicate) (compiled, error) {
+	var out compiled
+	var det []func(engine.Row) bool
+	var unc []func([]float64) bool
+	for _, p := range preds {
+		idx, err := spec.Schema.ColIndex(p.Col)
+		if err != nil {
+			return out, badRequestf("predicate column: %v", err)
+		}
+		op, cmp, err := compare(p.Op)
+		if err != nil {
+			return out, err
+		}
+		uncPos := -1
+		for k, c := range spec.UncertainCols {
+			if c == idx {
+				uncPos = k
+			}
+		}
+		if uncPos >= 0 {
+			if p.Str != nil {
+				return out, badRequestf("predicate on uncertain column %q must be numeric", p.Col)
+			}
+			lit := engine.Float(p.Value)
+			k := uncPos
+			unc = append(unc, func(u []float64) bool { return cmp(engine.Float(u[k]), lit) })
+			out.canon = append(out.canon, fmt.Sprintf("unc %s %s %s",
+				p.Col, op, strconv.FormatFloat(p.Value, 'g', -1, 64)))
+			continue
+		}
+		lit := engine.Float(p.Value)
+		canonLit := strconv.FormatFloat(p.Value, 'g', -1, 64)
+		if p.Str != nil {
+			lit = engine.Str(*p.Str)
+			canonLit = strconv.Quote(*p.Str)
+		}
+		i := idx
+		det = append(det, func(r engine.Row) bool { return cmp(r[i], lit) })
+		out.canon = append(out.canon, fmt.Sprintf("det %s %s %s", p.Col, op, canonLit))
+	}
+	if len(det) > 0 {
+		out.det = func(r engine.Row) bool {
+			for _, f := range det {
+				if !f(r) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if len(unc) > 0 {
+		out.unc = func(det engine.Row, u []float64) bool {
+			for _, f := range unc {
+				if !f(u) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	return out, nil
+}
+
+// compare maps an operator spelling to its canonical name and an
+// engine.Value comparison (Equal/Less compose into all six operators,
+// keeping float comparison semantics in one audited place).
+func compare(op string) (string, func(a, b engine.Value) bool, error) {
+	switch op {
+	case "eq", "=", "==":
+		return "eq", func(a, b engine.Value) bool { return a.Equal(b) }, nil
+	case "ne", "!=", "<>":
+		return "ne", func(a, b engine.Value) bool { return !a.Equal(b) }, nil
+	case "lt", "<":
+		return "lt", func(a, b engine.Value) bool { return a.Less(b) }, nil
+	case "le", "<=":
+		return "le", func(a, b engine.Value) bool { return !b.Less(a) }, nil
+	case "gt", ">":
+		return "gt", func(a, b engine.Value) bool { return b.Less(a) }, nil
+	case "ge", ">=":
+		return "ge", func(a, b engine.Value) bool { return !a.Less(b) }, nil
+	}
+	return "", nil, badRequestf("unknown operator %q", op)
+}
+
+// canonicalAgg renders the query in a normalized form for the cache
+// key: strategy and operator spellings are canonicalized so equivalent
+// requests share an entry.
+func canonicalAgg(req QueryRequest, strat mcdb.Strategy, preds compiled) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%s", req.Table, req.Col, strings.ToLower(req.Fn), strat)
+	for _, c := range preds.canon {
+		b.WriteByte('|')
+		b.WriteString(c)
+	}
+	return b.String()
+}

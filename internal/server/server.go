@@ -1,0 +1,315 @@
+// Package server is the serving layer over the Monte Carlo Database:
+// a multi-tenant query service hosting many concurrent mcdb.Sessions
+// behind an HTTP/JSON API (stdlib net/http only). It owns the concerns
+// a long-running process adds on top of a correct library — tenant
+// isolation (per-tenant seed namespaces split from one base stream),
+// admission control (global and per-tenant in-flight limits, per-query
+// worker budgets), a bounded result cache, sharded execution that is
+// bit-identical to a single-node run, paginated result delivery, and
+// graceful drain.
+//
+// Determinism is the load-bearing wall: because a (tenant, query, seed,
+// iterations) tuple always produces the same samples at any worker
+// count and any shard split, results are cacheable, shardable, and
+// reproducible offline by a client holding the response's
+// effective_seed.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"modeldata/internal/lru"
+	"modeldata/internal/mcdb"
+	"modeldata/internal/obs"
+	"modeldata/internal/parallel"
+	"modeldata/internal/rng"
+)
+
+// Metric names reported into the server's registry, which also receives
+// the mcdb.realize_cache_* counters of every session the server drives
+// (the request context carries the server's parallel.Stats). DESIGN.md
+// §8 documents the naming scheme.
+const (
+	// MetricAdmitted counts requests that passed admission control.
+	MetricAdmitted = "server.admitted"
+	// MetricRejectedBusy counts requests rejected by the global
+	// in-flight limit.
+	MetricRejectedBusy = "server.rejected_busy"
+	// MetricRejectedTenant counts requests rejected by a per-tenant
+	// in-flight limit.
+	MetricRejectedTenant = "server.rejected_tenant"
+	// MetricRejectedDraining counts requests rejected because the
+	// server was shutting down.
+	MetricRejectedDraining = "server.rejected_draining"
+	// MetricInFlight gauges the queries currently executing.
+	MetricInFlight = "server.inflight"
+	// MetricTenants gauges the tenants currently registered.
+	MetricTenants = "server.tenants"
+	// MetricCacheHits counts queries answered from the result cache.
+	MetricCacheHits = "server.cache.hits"
+	// MetricCacheMisses counts queries that had to execute.
+	MetricCacheMisses = "server.cache.misses"
+	// MetricCacheEvictions counts result vectors dropped by the LRU.
+	MetricCacheEvictions = "server.cache.evictions"
+	// MetricQueries counts structured aggregate queries served.
+	MetricQueries = "server.queries"
+	// MetricSQL counts SQL queries served.
+	MetricSQL = "server.sql"
+	// MetricExplains counts EXPLAIN requests served.
+	MetricExplains = "server.explains"
+)
+
+// Config sizes and wires a Server. The zero value of every limit field
+// selects a sensible default (see the constants below); Open is the
+// only field most deployments must set.
+type Config struct {
+	// BaseSeed roots the per-tenant seed namespaces. Two servers with
+	// the same BaseSeed answer identically; changing it re-keys every
+	// tenant at once.
+	BaseSeed uint64
+	// Shards is the number of backend shards each query's iteration
+	// range is partitioned across (1 = single-node execution).
+	Shards int
+	// MaxInFlight bounds concurrently executing queries server-wide.
+	MaxInFlight int
+	// TenantMaxInFlight bounds concurrently executing queries per
+	// tenant, so one tenant cannot starve the rest.
+	TenantMaxInFlight int
+	// MaxWorkers caps the per-query worker budget. A request's workers
+	// field is clamped to [1, MaxWorkers] and divided across shards.
+	MaxWorkers int
+	// MaxIterations bounds the iterations a single request may ask for.
+	MaxIterations int
+	// ResultCacheCap bounds the result cache (sample vectors retained).
+	ResultCacheCap int
+	// BundleCacheCap sizes each session's bundle-realization LRU.
+	BundleCacheCap int
+	// PageSize caps samples per response page; requests asking for more
+	// are clamped.
+	PageSize int
+	// Trace enables span collection for /debug/trace. Off by default:
+	// spans accumulate until scraped, which an unscraped server should
+	// not pay for.
+	Trace bool
+	// Open materializes the database for a tenant seen for the first
+	// time. It is called at most once per tenant, under the server's
+	// registry lock (keep it cheap). A nil Open rejects unknown
+	// tenants; use AddTenant to preregister.
+	Open func(tenant string) (*mcdb.DB, error)
+}
+
+// Default limits applied by New for zero Config fields.
+const (
+	DefaultMaxInFlight       = 32
+	DefaultTenantMaxInFlight = 8
+	DefaultMaxWorkers        = 8
+	DefaultMaxIterations     = 100000
+	DefaultResultCacheCap    = 256
+	DefaultPageSize          = 1000
+)
+
+// Server hosts per-tenant Monte Carlo query sessions behind an HTTP
+// API. Create one with New; it is safe for concurrent use.
+type Server struct {
+	cfg   Config
+	stats *parallel.Stats
+	reg   *obs.Registry
+	cache *lru.Cache[resultKey, []float64]
+
+	// tracer, when non-nil, collects spans for /debug/trace. Scraping
+	// swaps in a fresh tracer so span memory stays bounded.
+	tracer atomic.Pointer[obs.Tracer]
+
+	mu       sync.Mutex
+	draining bool
+	inflight int
+	tenants  map[string]*tenant
+}
+
+// tenant is one isolated namespace: its own database, one session per
+// shard (each with its own bounded bundle cache, as a real backend
+// shard would hold its own realizations), and an in-flight count.
+type tenant struct {
+	name     string
+	db       *mcdb.DB
+	shards   []*mcdb.Session
+	inflight int
+}
+
+// resultKey identifies one cacheable answer. Determinism makes the
+// worker count and shard split irrelevant to the samples, so neither
+// is part of the key.
+type resultKey struct {
+	tenant string
+	kind   string // "agg" or "sql"
+	text   string // canonical query text
+	seed   uint64
+	iters  int
+}
+
+// New builds a Server from cfg, applying defaults for zero limits.
+func New(cfg Config) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.TenantMaxInFlight <= 0 {
+		cfg.TenantMaxInFlight = DefaultTenantMaxInFlight
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = DefaultMaxWorkers
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = DefaultMaxIterations
+	}
+	if cfg.ResultCacheCap <= 0 {
+		cfg.ResultCacheCap = DefaultResultCacheCap
+	}
+	if cfg.BundleCacheCap <= 0 {
+		cfg.BundleCacheCap = mcdb.DefaultBundleCacheCap
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	stats := parallel.NewStats()
+	s := &Server{
+		cfg:     cfg,
+		stats:   stats,
+		reg:     stats.Registry(),
+		cache:   lru.New[resultKey, []float64](cfg.ResultCacheCap),
+		tenants: make(map[string]*tenant),
+	}
+	if cfg.Trace {
+		s.tracer.Store(obs.NewTracer())
+	}
+	return s
+}
+
+// AddTenant preregisters a tenant with an already-built database,
+// bypassing Config.Open. Registering a name twice replaces the earlier
+// tenant.
+func (s *Server) AddTenant(name string, db *mcdb.DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tenants[name] = s.newTenant(name, db)
+	s.reg.Gauge(MetricTenants).Set(int64(len(s.tenants)))
+}
+
+// newTenant builds the per-shard sessions. Caller holds s.mu.
+func (s *Server) newTenant(name string, db *mcdb.DB) *tenant {
+	t := &tenant{name: name, db: db, shards: make([]*mcdb.Session, s.cfg.Shards)}
+	for i := range t.shards {
+		t.shards[i] = db.NewSessionCache(s.cfg.BundleCacheCap)
+	}
+	return t
+}
+
+// tenantFor returns the named tenant, materializing it through
+// Config.Open on first sight.
+func (s *Server) tenantFor(name string) (*tenant, error) {
+	if name == "" {
+		return nil, badRequestf("tenant is required")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, nil
+	}
+	if s.cfg.Open == nil {
+		return nil, &StatusError{Code: 404, Msg: fmt.Sprintf("unknown tenant %q", name)}
+	}
+	db, err := s.cfg.Open(name)
+	if err != nil {
+		return nil, &StatusError{Code: 404, Msg: fmt.Sprintf("tenant %q: %v", name, err)}
+	}
+	t := s.newTenant(name, db)
+	s.tenants[name] = t
+	s.reg.Gauge(MetricTenants).Set(int64(len(s.tenants)))
+	return t, nil
+}
+
+// admit applies admission control for one query against the named
+// tenant. On success it returns the tenant and a release func the
+// caller must invoke exactly once when the query finishes.
+func (s *Server) admit(name string) (*tenant, func(), error) {
+	t, err := s.tenantFor(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.draining:
+		s.reg.Counter(MetricRejectedDraining).Inc()
+		return nil, nil, &StatusError{Code: 503, RetryAfter: 1, Msg: "server is draining"}
+	case s.inflight >= s.cfg.MaxInFlight:
+		s.reg.Counter(MetricRejectedBusy).Inc()
+		return nil, nil, &StatusError{Code: 429, RetryAfter: 1, Msg: "server at capacity"}
+	case t.inflight >= s.cfg.TenantMaxInFlight:
+		s.reg.Counter(MetricRejectedTenant).Inc()
+		return nil, nil, &StatusError{Code: 429, RetryAfter: 1,
+			Msg: fmt.Sprintf("tenant %q at capacity", name)}
+	}
+	s.inflight++
+	t.inflight++
+	s.reg.Counter(MetricAdmitted).Inc()
+	s.reg.Gauge(MetricInFlight).Set(int64(s.inflight))
+	release := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.inflight--
+		t.inflight--
+		s.reg.Gauge(MetricInFlight).Set(int64(s.inflight))
+	}
+	return t, release, nil
+}
+
+// BeginDrain moves the server into drain mode: new queries are
+// rejected with 503 while already-admitted ones run to completion. The
+// process pairs this with http.Server.Shutdown, which waits for
+// in-flight connections.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// EffectiveSeed returns the seed the server actually executes for a
+// tenant's request seed: a namespace split of the server's base seed,
+// so tenants with the same request seed draw independent samples. The
+// mapping is pure — a client holding the response's effective_seed
+// reproduces the exact samples offline with a plain mcdb.Session.
+func (s *Server) EffectiveSeed(tenant string, seed uint64) uint64 {
+	return rng.NamespaceSeed(s.cfg.BaseSeed, tenant, seed)
+}
+
+// Stats exposes the server-wide stats collector (and through its
+// Registry, every metric the server and its sessions report).
+func (s *Server) Stats() *parallel.Stats { return s.stats }
+
+// StatusError is an error with an HTTP status. The handlers map any
+// other error to 500.
+type StatusError struct {
+	Code int
+	// RetryAfter, when positive, is sent as a Retry-After header
+	// (seconds) — set on admission rejections so clients back off.
+	RetryAfter int
+	Msg        string
+}
+
+func (e *StatusError) Error() string { return e.Msg }
+
+func badRequestf(format string, args ...any) error {
+	return &StatusError{Code: 400, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,82 @@
+package server
+
+// Sharded execution. A query's iteration range [0, iters) is split
+// into one contiguous window per backend shard and the windows run
+// concurrently, each on its own session. Because iteration i draws
+// from substream i of the same effective seed on every shard
+// (parallel.ForStreamsRange), copying each shard's output back into
+// its window reconstructs the single-node sample vector bit for bit —
+// the invariant TestShardedMatchesSingleNode pins end to end.
+
+import (
+	"context"
+	"sync"
+
+	"modeldata/internal/mcdb"
+	"modeldata/internal/obs"
+)
+
+// splitRange partitions [0, n) into k contiguous windows of near-equal
+// width (the first n%k windows are one wider). Windows for k > n come
+// out empty rather than overlapping.
+func splitRange(n, k int) [][2]int {
+	windows := make([][2]int, k)
+	base, extra := n/k, n%k
+	lo := 0
+	for i := range windows {
+		w := base
+		if i < extra {
+			w++
+		}
+		windows[i] = [2]int{lo, lo + w}
+		lo += w
+	}
+	return windows
+}
+
+// rangeRunner executes one iteration window on one shard's session
+// with the given worker budget.
+type rangeRunner func(ctx context.Context, sess *mcdb.Session, workers, lo, hi int) ([]float64, error)
+
+// sharded fans a query out across the tenant's shard sessions and
+// merges the per-window outputs in index order. The query's worker
+// budget is divided across shards so total fan-out stays within it.
+// The first shard error wins; other shards may keep running until the
+// loop notices cancellation, but their outputs are discarded.
+func (s *Server) sharded(ctx context.Context, t *tenant, iters, workers int, run rangeRunner) ([]float64, error) {
+	windows := splitRange(iters, len(t.shards))
+	perShard := workers / len(windows)
+	if perShard < 1 {
+		perShard = 1
+	}
+	out := make([]float64, iters)
+	errs := make([]error, len(windows))
+	var wg sync.WaitGroup
+	for k, w := range windows {
+		if w[0] == w[1] {
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			sctx, span := obs.Start(ctx, "server.shard")
+			span.SetInt("shard", int64(k))
+			span.SetInt("lo", int64(lo))
+			span.SetInt("hi", int64(hi))
+			defer span.End()
+			part, err := run(sctx, t.shards[k], perShard, lo, hi)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			copy(out[lo:hi], part)
+		}(k, w[0], w[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

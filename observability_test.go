@@ -27,8 +27,8 @@ type chromeTrace struct {
 		Ts   float64 `json:"ts"`
 		Dur  float64 `json:"dur"`
 		Args struct {
-			ID     string `json:"id"`
-			Parent string `json:"parent"`
+			ID     string `json:"span.id"`
+			Parent string `json:"span.parent"`
 		} `json:"args"`
 	} `json:"traceEvents"`
 }
