@@ -24,6 +24,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,8 +32,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"modeldata/internal/server"
@@ -69,16 +72,21 @@ func main() {
 		workers: *workers,
 		out:     os.Stdout,
 	}
+	// Every request the shell sends carries this context, so Ctrl-C
+	// aborts an in-flight query instead of hanging until the client
+	// timeout. The server cancels the corresponding Monte Carlo run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *oneShot != "" {
-		if err := sh.dispatch(*oneShot); err != nil {
+		if err := sh.dispatch(ctx, *oneShot); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	sh.repl()
+	sh.repl(ctx)
 }
 
-func (sh *shell) repl() {
+func (sh *shell) repl(ctx context.Context) {
 	fmt.Fprintf(sh.out, "connected to %s (tenant %q, iters %d, seed %d); \\q quits\n",
 		sh.addr, sh.tenant, sh.iters, sh.seed)
 	sc := bufio.NewScanner(os.Stdin)
@@ -95,27 +103,27 @@ func (sh *shell) repl() {
 		if line == `\q` || line == `\quit` {
 			return
 		}
-		if err := sh.dispatch(line); err != nil {
+		if err := sh.dispatch(ctx, line); err != nil {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 		}
 	}
 }
 
 // dispatch executes one input line.
-func (sh *shell) dispatch(line string) error {
+func (sh *shell) dispatch(ctx context.Context, line string) error {
 	switch {
 	case strings.HasPrefix(line, `\explain `):
-		return sh.runSQL(strings.TrimSpace(strings.TrimPrefix(line, `\explain `)), true)
+		return sh.runSQL(ctx, strings.TrimSpace(strings.TrimPrefix(line, `\explain `)), true)
 	case strings.HasPrefix(line, `\set `):
 		return sh.set(strings.Fields(strings.TrimPrefix(line, `\set `)))
 	case line == `\metrics`:
-		return sh.get("/metrics")
+		return sh.get(ctx, "/metrics")
 	case line == `\health`:
-		return sh.get("/healthz")
+		return sh.get(ctx, "/healthz")
 	case strings.HasPrefix(line, `\`):
 		return fmt.Errorf("unknown command %q", line)
 	default:
-		return sh.runSQL(line, false)
+		return sh.runSQL(ctx, line, false)
 	}
 }
 
@@ -151,7 +159,7 @@ func (sh *shell) set(kv []string) error {
 }
 
 // runSQL posts one statement to /v1/sql and renders the answer.
-func (sh *shell) runSQL(sql string, explain bool) error {
+func (sh *shell) runSQL(ctx context.Context, sql string, explain bool) error {
 	req := server.SQLRequest{
 		Tenant:     sh.tenant,
 		SQL:        sql,
@@ -161,7 +169,7 @@ func (sh *shell) runSQL(sql string, explain bool) error {
 		Workers:    sh.workers,
 	}
 	var resp server.SQLResponse
-	if err := sh.post("/v1/sql", req, &resp); err != nil {
+	if err := sh.post(ctx, "/v1/sql", req, &resp); err != nil {
 		return err
 	}
 	if explain {
@@ -176,12 +184,17 @@ func (sh *shell) runSQL(sql string, explain bool) error {
 	return nil
 }
 
-func (sh *shell) post(path string, req, resp any) error {
+func (sh *shell) post(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	httpResp, err := sh.client.Post(sh.addr+path, "application/json", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.addr+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := sh.client.Do(httpReq)
 	if err != nil {
 		return err
 	}
@@ -203,8 +216,12 @@ func (sh *shell) post(path string, req, resp any) error {
 }
 
 // get fetches a text endpoint and prints it verbatim.
-func (sh *shell) get(path string) error {
-	httpResp, err := sh.client.Get(sh.addr + path)
+func (sh *shell) get(ctx context.Context, path string) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.addr+path, nil)
+	if err != nil {
+		return err
+	}
+	httpResp, err := sh.client.Do(httpReq)
 	if err != nil {
 		return err
 	}

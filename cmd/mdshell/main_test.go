@@ -1,0 +1,68 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequestsAbortOnContextCancel is the regression for the shell's
+// context-free HTTP calls: client.Get/client.Post carried no context,
+// so a hung server pinned the shell for the full five-minute client
+// timeout and Ctrl-C could not abort an in-flight query. Both request
+// paths must now unblock as soon as the context ends.
+func TestRequestsAbortOnContextCancel(t *testing.T) {
+	// The handler never responds until the client gives up, standing in
+	// for a server stuck in a long Monte Carlo run.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server's background read is armed and
+		// the client disconnect cancels r.Context(); otherwise this
+		// handler outlives the test and srv.Close hangs.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	sh := &shell{
+		addr:   srv.URL,
+		client: srv.Client(),
+		tenant: "default",
+		iters:  1,
+		out:    io.Discard,
+	}
+
+	for _, tc := range []struct {
+		name string
+		call func(context.Context) error
+	}{
+		{"get", func(ctx context.Context) error {
+			return sh.get(ctx, "/healthz")
+		}},
+		{"post", func(ctx context.Context) error {
+			return sh.runSQL(ctx, "SELECT AVG(x) FROM t", false)
+		}},
+	} {
+		call := tc.call
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			done := make(chan error, 1)
+			go func() { done <- call(ctx) }()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("request against a hung server returned nil error")
+				}
+				if !strings.Contains(err.Error(), "context deadline exceeded") {
+					t.Fatalf("want context deadline error, got: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("request did not abort when its context ended")
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"modeldata/internal/obs"
@@ -75,7 +76,7 @@ type Runner func(ctx context.Context, seed uint64) (Result, error)
 
 // registry maps experiment IDs to runners, populated by init()
 // functions in the per-topic files.
-var registry = map[string]Runner{}
+var registry = map[string]Runner{} // bounded by the compiled-in experiment registrations; register only runs at init time
 
 func register(id string, r Runner) {
 	registry[id] = r
@@ -107,9 +108,10 @@ func IDs() []string {
 		if ri != rj {
 			return ri < rj
 		}
-		var ni, nj int
-		fmt.Sscanf(out[i][1:], "%d", &ni)
-		fmt.Sscanf(out[j][1:], "%d", &nj)
+		// Malformed numeric suffixes sort as 0; IDs are compiled-in so
+		// in practice every suffix parses.
+		ni, _ := strconv.Atoi(out[i][1:])
+		nj, _ := strconv.Atoi(out[j][1:])
 		return ni < nj
 	})
 	return out

@@ -182,8 +182,7 @@ func GeneratePopulation(cfg PopulationConfig, r *rng.Stream) (*Network, error) {
 			return
 		}
 		seen[key] = true
-		// Errors impossible: indices are in range by construction.
-		_ = net.AddEdge(a, b, w)
+		_ = net.AddEdge(a, b, w) //lint:allow errdrop indices are in range by construction, so AddEdge cannot fail
 	}
 	for i := 0; i < cfg.N; i++ {
 		for j := 1; j <= k; j++ {

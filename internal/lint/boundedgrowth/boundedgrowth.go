@@ -1,0 +1,257 @@
+// Package boundedgrowth flags writes that grow maps and slices with no
+// bound on objects that outlive a request: package-level variables and
+// fields of long-lived structs.
+//
+// This is the Session.bundles bug class PR 7 fixed by hand — a
+// per-session map fed on the request path that grew for the life of the
+// server — promoted to a compile-time invariant. A struct counts as
+// long-lived when it carries a sync.Mutex/RWMutex field or any
+// `// guarded by` annotation: in this repo, synchronization on a struct
+// is precisely the marker that it is shared and outlives any one
+// request.
+//
+// Flagged shapes, outside _test.go files and init functions:
+//
+//	s.sessions[k] = v            // map insert on a long-lived struct
+//	s.log = append(s.log, line)  // self-append on a long-lived struct
+//	registry[name] = r           // package-level map insert
+//
+// The sanctioned ways out: route the data through internal/lru (the
+// bounded, evicting cache built for exactly this), or document the
+// bound where the field is declared:
+//
+//	spans []*Span // bounded by -trace ring capacity
+//
+// A `// bounded by` with no reason is itself a diagnostic. Slice
+// index-assignment is never flagged (it cannot grow the backing array),
+// and structs without synchronization are presumed request-scoped.
+package boundedgrowth
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the boundedgrowth rule.
+var Analyzer = &lint.Analyzer{
+	Name: "boundedgrowth",
+	Doc: "flags unbounded map/slice growth on package-level vars and long-lived structs; " +
+		"route through internal/lru or annotate `// bounded by <reason>`",
+	// internal/lru IS the eviction mechanism the rule points at.
+	DefaultAllow: []string{"internal/lru"},
+	Run:          run,
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.TypesInfo
+	bounded, badBounded := lint.FieldDirectives(info, pass.Files, lint.BoundedByDirective)
+	guarded, _ := lint.FieldDirectives(info, pass.Files, lint.GuardedByDirective)
+	pkgBounded, badVarBounded := lint.VarDirectives(info, pass.Files, lint.BoundedByDirective)
+	for _, pos := range append(badBounded, badVarBounded...) {
+		pass.Reportf(pos, "`// bounded by` needs a reason: say what bounds the growth")
+	}
+
+	tracked := trackedFields(info, pass.Files, bounded, guarded)
+	pkgVars := packageVars(info, pass.Files, pkgBounded)
+	if len(tracked) == 0 && len(pkgVars) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if fn.Name.Name == "init" && fn.Recv == nil {
+				continue // init runs once; its writes are bounded by program structure
+			}
+			checkBody(pass, fn.Body, tracked, pkgVars)
+		}
+	}
+	return nil
+}
+
+// trackedFields returns the map/slice fields of long-lived structs that
+// carry no `// bounded by` annotation.
+func trackedFields(info *types.Info, files []*ast.File, bounded, guarded map[*types.Var]string) map[*types.Var]bool {
+	tracked := make(map[*types.Var]bool)
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if !longLived(info, st, guarded) {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				t := lint.TypeOf(info, field.Type)
+				if t == nil || !growable(t) {
+					continue
+				}
+				for _, name := range field.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if _, ok := bounded[v]; ok {
+						continue
+					}
+					tracked[v] = true
+				}
+			}
+			return true
+		})
+	}
+	return tracked
+}
+
+// longLived reports whether the struct carries a mutex field or any
+// guarded-by annotation — the repo's markers for shared state that
+// outlives a request.
+func longLived(info *types.Info, st *ast.StructType, guarded map[*types.Var]string) bool {
+	for _, field := range st.Fields.List {
+		if isMutex(lint.TypeOf(info, field.Type)) {
+			return true
+		}
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				if _, ok := guarded[v]; ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+func growable(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// packageVars returns the unannotated package-level map/slice vars.
+func packageVars(info *types.Info, files []*ast.File, pkgBounded map[*types.Var]string) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := info.Defs[name].(*types.Var)
+					if !ok || !growable(v.Type()) {
+						continue
+					}
+					if _, ok := pkgBounded[v]; ok {
+						continue
+					}
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt, tracked, pkgVars map[*types.Var]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					checkMapWrite(pass, ix, tracked, pkgVars)
+					continue
+				}
+				if len(n.Lhs) != len(n.Rhs) {
+					continue
+				}
+				if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok && isAppend(pass.TypesInfo, call) {
+					checkGrowTarget(pass, lhs, "append", tracked, pkgVars)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				checkMapWrite(pass, ix, tracked, pkgVars)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapWrite flags `x[k] = v` (or `x[k]++`, `x[k] += v`) when x is a
+// tracked map: inserting under a fresh key grows it.
+func checkMapWrite(pass *lint.Pass, ix *ast.IndexExpr, tracked, pkgVars map[*types.Var]bool) {
+	t := lint.TypeOf(pass.TypesInfo, ix.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return // slice index-assignment cannot grow the backing array
+	}
+	checkGrowTarget(pass, ix.X, "map insert", tracked, pkgVars)
+}
+
+// checkGrowTarget resolves the written expression to a tracked field or
+// package var and reports the growth.
+func checkGrowTarget(pass *lint.Pass, target ast.Expr, how string, tracked, pkgVars map[*types.Var]bool) {
+	switch e := ast.Unparen(target).(type) {
+	case *ast.SelectorExpr:
+		v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		if ok && tracked[v] {
+			pass.Reportf(e.Pos(),
+				"%s grows field %s of a long-lived struct without bound; route it through internal/lru or annotate the field `// bounded by <reason>`",
+				how, e.Sel.Name)
+		}
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if ok && pkgVars[v] {
+			pass.Reportf(e.Pos(),
+				"%s grows package-level %s without bound outside init; route it through internal/lru or annotate the var `// bounded by <reason>`",
+				how, e.Name)
+		}
+	}
+}
+
+func isAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}

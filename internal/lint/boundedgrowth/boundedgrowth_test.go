@@ -1,0 +1,38 @@
+package boundedgrowth
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modeldata/internal/lint"
+	"modeldata/internal/lint/linttest"
+)
+
+func TestBoundedGrowth(t *testing.T) {
+	linttest.Run(t, Analyzer, "boundedgrowth")
+}
+
+// TestMalformedDirective pins the diagnostic for a `// bounded by` with
+// no reason, on a field and on a package-level var.
+func TestMalformedDirective(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "boundedgrowthbad")
+	pkg, err := lint.LoadDir(dir, "modeldatalint.test/boundedgrowthbad")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	var malformed int
+	for _, f := range findings {
+		if strings.Contains(f.Message, "`// bounded by` needs a reason") {
+			malformed++
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("want 2 malformed-directive diagnostics (field + package var), got %d in:\n%v",
+			malformed, findings)
+	}
+}

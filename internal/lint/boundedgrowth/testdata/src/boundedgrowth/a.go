@@ -1,0 +1,78 @@
+package boundedgrowth
+
+import "sync"
+
+// server is long-lived: it carries a mutex.
+type server struct {
+	mu       sync.Mutex
+	sessions map[string]*session // an unbounded cache waiting to happen
+	log      []string
+	ring     []string // bounded by fixed ring capacity set at construction
+	byID     map[int]string
+	hits     map[string]int
+}
+
+// session is long-lived via a guarded-by annotation, no mutex of its
+// own (the owning server's mu guards it).
+type session struct {
+	bundles map[string]int // guarded by mu
+}
+
+// value structs without synchronization are request-scoped; growth is
+// the caller's problem.
+type scratch struct {
+	rows map[string]int
+}
+
+// registry is package-level and unannotated.
+var registry = map[string]*server{}
+
+// seeds is package-level but documents its bound.
+var seeds = map[string]int{} // bounded by the fixed experiment table
+
+func init() {
+	registry["boot"] = nil // init runs once; not flagged
+	seeds["default"] = 1
+}
+
+func (s *server) insert(k string, v *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[k] = v // want `map insert grows field sessions of a long-lived struct`
+}
+
+func (s *server) appendLog(line string) {
+	s.log = append(s.log, line) // want `append grows field log of a long-lived struct`
+}
+
+func (s *server) count(k string) {
+	s.hits[k]++ // want `map insert grows field hits of a long-lived struct`
+}
+
+func (s *server) rotate(i int, v string) {
+	s.ring[i] = v // slice index-assign cannot grow; clean
+}
+
+func (s *server) allow(k string, v *session) {
+	s.sessions[k] = v //lint:allow boundedgrowth fixture shows the escape hatch
+}
+
+func (sc *scratch) fill(k string, v int) {
+	sc.rows[k] = v // request-scoped struct; clean
+}
+
+func (se *session) bundle(k string) {
+	se.bundles[k]++ // want `map insert grows field bundles of a long-lived struct`
+}
+
+func register(name string, s *server) {
+	registry[name] = s // want `map insert grows package-level registry without bound outside init`
+}
+
+func seed(name string) {
+	seeds[name] = 0 // annotated with its bound; clean
+}
+
+func other(m map[string]int, k string) {
+	m[k] = 1 // a parameter, not a tracked field or package var; clean
+}

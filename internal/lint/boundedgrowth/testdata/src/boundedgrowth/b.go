@@ -1,0 +1,15 @@
+package boundedgrowth
+
+import "sync"
+
+// tracer documents its bound in a field doc comment rather than a line
+// comment; both placements count.
+type tracer struct {
+	mu sync.Mutex
+	// bounded by the -trace ring capacity; oldest spans evicted
+	spans []string
+}
+
+func (tr *tracer) record(s string) {
+	tr.spans = append(tr.spans, s) // doc-comment bound; clean
+}

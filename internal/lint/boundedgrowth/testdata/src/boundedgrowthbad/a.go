@@ -1,0 +1,14 @@
+// Fixture with malformed `// bounded by` directives — no reason given.
+// Loaded by a custom test (not a want-comment run: the want text would
+// itself become the directive's argument).
+package boundedgrowthbad
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries map[string]int // bounded by
+}
+
+// bounded by:
+var index = map[string]int{}

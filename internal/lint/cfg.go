@@ -1,0 +1,353 @@
+package lint
+
+import "go/ast"
+
+// This file is a lightweight intra-function control-flow graph over the
+// AST, shared by the path-sensitive analyzers (spanleak's must-reach-End
+// reachability, lockguard's held-mutex dataflow). It deliberately stays
+// far simpler than x/tools/go/cfg: blocks carry ast.Nodes rather than
+// lowered instructions, and the only summarized constructs are the ones
+// the repository actually writes — if/else, for, range, switch, type
+// switch, select, labeled break/continue, fallthrough, return, and
+// panic. goto is lowered conservatively as an edge to the exit block, so
+// analyzers over goto-ful code get quieter, never wrong.
+
+// Block is one basic block: a straight-line run of AST nodes executed in
+// order, followed by a transfer of control along one of Succs.
+//
+// Nodes holds statements and, for control headers, their constituent
+// parts (an if's Init and Cond, a range's operands, a case clause's
+// guard expressions) — never a statement that itself contains the
+// block's successors, so walking every block's Nodes visits each node of
+// the function exactly once. Function literals appear as values inside
+// nodes; their bodies are separate functions and are NOT linked into
+// this graph.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Exit is a
+// synthetic empty block reached by falling off the end, by every return
+// statement, and by terminating calls (panic, goto lowering).
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// BuildCFG constructs the control-flow graph of body. It never fails:
+// unreachable statements land in dangling blocks with no predecessors.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	b.g.Exit = b.newBlock()
+	b.g.Entry = b.newBlock()
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+	}
+	return b.g
+}
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label      string // of the enclosing LabeledStmt, or ""
+	breakTo    *Block
+	continueTo *Block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil while control cannot reach the next statement
+	// frames is the stack of enclosing loops/switches/selects, the
+	// innermost last. pendingLabel carries a LabeledStmt's label to
+	// the loop or switch statement it labels.
+	frames       []frame
+	pendingLabel string
+	// fallTarget is the next case's body block while building a
+	// switch case, for fallthrough.
+	fallTarget *Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends n to the current block, opening a dangling block first if
+// control cannot reach here (so unreachable code still has a home).
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct that owns it.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			// A label on a plain statement only matters for goto,
+			// which is lowered to exit anyway.
+			b.stmt(s.Stmt)
+		}
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		if cond == nil {
+			cond = b.newBlock()
+		}
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.add(s.Init)
+		head := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = head
+		b.add(s.Cond)
+		body := b.newBlock()
+		post := b.newBlock()
+		join := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: join, continueTo: post})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, post)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = post
+		b.add(s.Post)
+		b.edge(post, head)
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.cur = head
+		b.add(s.X)
+		b.add(s.Key)
+		b.add(s.Value)
+		body := b.newBlock()
+		join := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, join) // a range over an empty container runs zero times
+		b.frames = append(b.frames, frame{label: label, breakTo: join, continueTo: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, nil, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, nil, s.Assign, s.Body, true)
+
+	case *ast.SelectStmt:
+		b.switchLike(nil, nil, nil, s.Body, false)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanic(s.X) {
+			if b.cur != nil {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.cur = nil
+		}
+
+	default:
+		// Assignments, declarations, sends, deferred and go calls,
+		// inc/dec, empty statements: straight-line.
+		b.add(s)
+	}
+}
+
+// switchLike builds switch, type switch, and select bodies: each clause
+// branches from the head, clause bodies never fall through to each other
+// (except an explicit fallthrough), and all of them (plus the head, when
+// no default clause exists) join afterwards.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFallthrough bool) {
+	label := b.takeLabel()
+	b.add(init)
+	b.add(tag)
+	b.add(assign)
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+	}
+	join := b.newBlock()
+
+	// Pre-create each clause's start block so fallthrough can target
+	// the next clause before it is built.
+	starts := make([]*Block, len(body.List))
+	hasDefault := false
+	for i := range body.List {
+		starts[i] = b.newBlock()
+		b.edge(head, starts[i])
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: join})
+	for i, clause := range body.List {
+		prevFall := b.fallTarget
+		b.fallTarget = nil
+		if allowFallthrough && i+1 < len(body.List) {
+			b.fallTarget = starts[i+1]
+		}
+		b.cur = starts[i]
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				b.add(e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			b.stmtList(c.Body)
+		case *ast.CommClause:
+			b.add(c.Comm)
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			b.stmtList(c.Body)
+		}
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		b.fallTarget = prevFall
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	if b.cur == nil {
+		return
+	}
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	var target *Block
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if label == "" || b.frames[i].label == label {
+				target = b.frames[i].breakTo
+				break
+			}
+		}
+	case "continue":
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].continueTo == nil {
+				continue // a switch/select is transparent to continue
+			}
+			if label == "" || b.frames[i].label == label {
+				target = b.frames[i].continueTo
+				break
+			}
+		}
+	case "fallthrough":
+		target = b.fallTarget
+	case "goto":
+		// Lowered conservatively: control leaves the analyzable
+		// region.
+	}
+	if target == nil {
+		target = b.g.Exit
+	}
+	b.edge(b.cur, target)
+	b.cur = nil
+}
+
+// isPanic reports whether e is a call to the predeclared panic. The
+// check is syntactic; shadowing panic would defeat it, and nothing in
+// this repository does.
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

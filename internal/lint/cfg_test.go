@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFuncCFG parses src (a file containing func f) and builds the CFG
+// of f's body.
+func buildFuncCFG(t *testing.T, src string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test_input.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no func f in src")
+	return nil
+}
+
+// markerSite locates the unique node containing a call to the named
+// function and returns its block and index within the block.
+func markerSite(t *testing.T, g *CFG, name string) (*Block, int) {
+	t.Helper()
+	var blk *Block
+	idx := -1
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if containsCall(n, name) {
+				if blk != nil {
+					t.Fatalf("marker %s() appears in more than one block node", name)
+				}
+				blk, idx = b, i
+			}
+		}
+	}
+	if blk == nil {
+		t.Fatalf("marker %s() not found in any block", name)
+	}
+	return blk, idx
+}
+
+func containsCall(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reachesExitAvoiding reports whether control can flow from just after
+// the "from" marker to the exit block without executing a node that
+// contains a call to avoid ("" avoids nothing). This is exactly the
+// query spanleak asks with avoid = the End call.
+func reachesExitAvoiding(t *testing.T, g *CFG, from, avoid string) bool {
+	t.Helper()
+	blk, idx := markerSite(t, g, from)
+	type at struct {
+		b *Block
+		i int
+	}
+	seen := map[*Block]bool{}
+	stack := []at{{blk, idx + 1}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blocked := false
+		for i := cur.i; i < len(cur.b.Nodes); i++ {
+			if avoid != "" && containsCall(cur.b.Nodes[i], avoid) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if cur.b == g.Exit {
+			return true
+		}
+		for _, s := range cur.b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, at{s, 0})
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildFuncCFG(t, `func f() { a(); b() }`)
+	if !reachesExitAvoiding(t, g, "a", "") {
+		t.Error("straight line: a should reach exit")
+	}
+	if reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("straight line: a should not reach exit without passing b")
+	}
+}
+
+func TestCFGIfEarlyReturn(t *testing.T) {
+	g := buildFuncCFG(t, `func f(c bool) { a(); if c { return }; b() }`)
+	if !reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("early return should bypass b")
+	}
+}
+
+func TestCFGIfElseBothCovered(t *testing.T) {
+	g := buildFuncCFG(t, `func f(c bool) { a(); if c { b() } else { b() } }`)
+	if reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("both branches call b; exit should be unreachable avoiding it")
+	}
+}
+
+func TestCFGForLoopBreak(t *testing.T) {
+	g := buildFuncCFG(t, `func f(c bool) { a(); for { if c { break } }; b() }`)
+	if reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("only path out of the loop runs through b")
+	}
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	g := buildFuncCFG(t, `func f() { a(); for { c() } }`)
+	if reachesExitAvoiding(t, g, "a", "") {
+		t.Error("a for-loop without cond or break never reaches exit")
+	}
+}
+
+func TestCFGRangeMayRunZeroTimes(t *testing.T) {
+	g := buildFuncCFG(t, `func f(xs []int) { a(); for range xs { b() } }`)
+	if !reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("range over an empty slice skips the body")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	g := buildFuncCFG(t, `func f(c bool) { a(); if c { panic("x") }; b() }`)
+	if !reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("panic path should reach exit without b")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildFuncCFG(t, `func f(x int) {
+		a()
+		switch x {
+		case 1:
+			fallthrough
+		case 2:
+			b()
+		default:
+			b()
+		}
+	}`)
+	if reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("every switch path (incl. fallthrough) runs through b")
+	}
+}
+
+func TestCFGSwitchWithoutDefault(t *testing.T) {
+	g := buildFuncCFG(t, `func f(x int) { a(); switch x { case 1: b() } }`)
+	if !reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("a switch without default can match nothing")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildFuncCFG(t, `func f(ch chan int) {
+		a()
+		select {
+		case <-ch:
+			b()
+		default:
+			b()
+		}
+	}`)
+	if reachesExitAvoiding(t, g, "a", "b") {
+		t.Error("both select arms run through b")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildFuncCFG(t, `func f(c bool) {
+		a()
+	outer:
+		for i := 0; i < 3; i++ {
+			for {
+				if c {
+					continue outer
+				}
+				break outer
+			}
+		}
+		d()
+	}`)
+	if !reachesExitAvoiding(t, g, "a", "") {
+		t.Error("labeled break should exit both loops")
+	}
+	if reachesExitAvoiding(t, g, "a", "d") {
+		t.Error("all paths out of the loops pass through d")
+	}
+}
+
+// TestCFGNodesAppearOnce guards the walking contract: visiting every
+// block's Nodes visits each marker exactly once even when the marker
+// sits inside a control header.
+func TestCFGNodesAppearOnce(t *testing.T) {
+	g := buildFuncCFG(t, `func f(xs []int) {
+		if a() {
+			b()
+		}
+		for i := 0; c(i); i++ {
+			d()
+		}
+		switch e() {
+		case 1:
+		}
+	}`)
+	for _, m := range []string{"a", "b", "c", "d", "e"} {
+		markerSite(t, g, m) // fails if absent or duplicated
+	}
+}

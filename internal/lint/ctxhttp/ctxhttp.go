@@ -1,0 +1,299 @@
+// Package ctxhttp enforces context plumbing and body hygiene at the
+// HTTP boundary, where the serving layer (internal/server, cmd/mdshell)
+// meets the network.
+//
+// Flagged, outside _test.go files:
+//
+//   - package-level http.Get/Post/Head/PostForm and (*http.Client)
+//     Get/Post/Head/PostForm: these APIs take no context, so the query
+//     they carry cannot be canceled — the mdshell bug this analyzer was
+//     built from. Use http.NewRequestWithContext + Do.
+//   - http.NewRequest: always context-free; use NewRequestWithContext.
+//   - context.Background()/TODO() inside a handler (a function with
+//     http.ResponseWriter and *http.Request parameters): the request
+//     already has a context; derive from r.Context().
+//   - an *http.Response whose Body is never closed in the acquiring
+//     function (and which does not escape): each leaked body pins a
+//     connection. Discarding the response entirely (`_, err := c.Do`)
+//     is the same leak and is flagged too.
+//
+// Responses that escape — returned or passed on — carry the close
+// obligation with them and are not flagged here.
+package ctxhttp
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the ctxhttp rule.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxhttp",
+	Doc: "HTTP calls must thread a context (NewRequestWithContext, r.Context() in handlers) " +
+		"and close response bodies",
+	Run: run,
+}
+
+var contextFree = map[string]bool{"Get": true, "Post": true, "Head": true, "PostForm": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkContextFreeCall(pass, call)
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if handlerShaped(pass.TypesInfo, fn) {
+				checkManufacturedContext(pass, fn)
+			}
+			for _, body := range bodies(fn.Body) {
+				checkBodyClose(pass, body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkContextFreeCall flags the context-free request APIs.
+func checkContextFreeCall(pass *lint.Pass, call *ast.CallExpr) {
+	if pkg, name := lint.CalleePkgFunc(pass.TypesInfo, call); pkg == "net/http" {
+		if contextFree[name] {
+			pass.Reportf(call.Pos(),
+				"http.%s takes no context, so this request cannot be canceled; use http.NewRequestWithContext and a client's Do",
+				name)
+			return
+		}
+		if name == "NewRequest" {
+			pass.Reportf(call.Pos(),
+				"http.NewRequest builds a context-free request; use http.NewRequestWithContext")
+			return
+		}
+	}
+	if name, ok := clientMethod(pass.TypesInfo, call); ok && contextFree[name] {
+		pass.Reportf(call.Pos(),
+			"(*http.Client).%s takes no context, so this request cannot be canceled; use http.NewRequestWithContext + Do",
+			name)
+	}
+}
+
+// clientMethod resolves call to a method on net/http.Client.
+func clientMethod(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != "net/http" || named.Obj().Name() != "Client" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// handlerShaped reports whether fn has http.ResponseWriter and
+// *http.Request parameters — the handler signature, however embedded.
+func handlerShaped(info *types.Info, fn *ast.FuncDecl) bool {
+	var hasW, hasR bool
+	for _, field := range fn.Type.Params.List {
+		t := lint.TypeOf(info, field.Type)
+		if t == nil {
+			continue
+		}
+		if isNetHTTPNamed(t, "ResponseWriter") {
+			hasW = true
+		}
+		if p, ok := t.(*types.Pointer); ok && isNetHTTPNamed(p.Elem(), "Request") {
+			hasR = true
+		}
+	}
+	return hasW && hasR
+}
+
+func isNetHTTPNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == name
+}
+
+// checkManufacturedContext flags context.Background/TODO inside a
+// handler, closures included: the request context is right there.
+func checkManufacturedContext(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := lint.CalleePkgFunc(pass.TypesInfo, call); pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(),
+				"handler %s manufactures context.%s; derive it from r.Context() so the client disconnect cancels the work",
+				fn.Name.Name, name)
+		}
+		return true
+	})
+}
+
+// bodies returns the function body and each nested literal body, each
+// checked separately for response-body hygiene.
+func bodies(outer *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{outer}
+	ast.Inspect(outer, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// checkBodyClose flags *http.Response acquisitions whose Body is never
+// closed in this function.
+func checkBodyClose(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // the literal's body gets its own checkBodyClose pass
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok || !returnsResponse(pass.TypesInfo, call) {
+			return true
+		}
+		respExpr := ast.Unparen(assign.Lhs[0])
+		id, ok := respExpr.(*ast.Ident)
+		if !ok {
+			return true // stored into a field: it escapes
+		}
+		if id.Name == "_" {
+			pass.Reportf(assign.Pos(),
+				"response is discarded without closing its Body, pinning the connection; bind it and defer resp.Body.Close()")
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if respEscapes(pass.TypesInfo, body, assign, obj) {
+			return true
+		}
+		if !closesBody(pass.TypesInfo, body, obj) {
+			pass.Reportf(assign.Pos(),
+				"response body of %s is never closed in this function; defer %s.Body.Close()",
+				id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// returnsResponse reports whether the call produces an *http.Response
+// from the client APIs (Do/Get/Post/Head/PostForm or the package-level
+// helpers).
+func returnsResponse(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name := lint.CalleePkgFunc(info, call); pkg == "net/http" && (contextFree[name]) {
+		return true
+	}
+	name, ok := clientMethod(info, call)
+	return ok && (name == "Do" || contextFree[name])
+}
+
+// respEscapes reports whether the response itself leaves the function —
+// returned, passed to a call, or reassigned — taking the close
+// obligation with it. Selector uses (resp.Body, resp.StatusCode) stay
+// local.
+func respEscapes(info *types.Info, body *ast.BlockStmt, def *ast.AssignStmt, obj types.Object) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		defer func() { stack = append(stack, n) }()
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || (info.Uses[id] != obj && info.Defs[id] != obj) {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			return true // field access stays local
+		case *ast.AssignStmt:
+			if p == def {
+				return true
+			}
+		case *ast.BinaryExpr:
+			return true // resp == nil guards
+		}
+		escaped = true
+		return false
+	})
+	return escaped
+}
+
+// closesBody reports whether body contains obj.Body.Close(), plain or
+// deferred, anywhere (closures included — a deferred closure closing
+// the body counts).
+func closesBody(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || inner.Sel.Name != "Body" {
+			return true
+		}
+		id, ok := ast.Unparen(inner.X).(*ast.Ident)
+		if ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package ctxhttp
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/linttest"
+)
+
+func TestCtxHTTP(t *testing.T) {
+	linttest.Run(t, Analyzer, "ctxhttp")
+}

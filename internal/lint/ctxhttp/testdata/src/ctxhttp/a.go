@@ -1,0 +1,146 @@
+package ctxhttp
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+// good threads a context and closes the body — the shape every
+// outbound call should have.
+func good(ctx context.Context, c *http.Client, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func pkgGet(url string) {
+	resp, err := http.Get(url) // want `http.Get takes no context` `response body of resp is never closed`
+	if err != nil {
+		return
+	}
+	_ = resp.StatusCode
+}
+
+func clientPost(c *http.Client, url string) {
+	resp, err := c.Post(url, "application/json", nil) // want `\(\*http.Client\).Post takes no context`
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+}
+
+func oldRequest(c *http.Client, url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil) // want `http.NewRequest builds a context-free request`
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// handler manufactures a context instead of deriving from the request.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `handler handler manufactures context.Background`
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// goodHandler derives from the request; clean.
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	_ = ctx
+	w.WriteHeader(http.StatusOK)
+}
+
+// background in a non-handler function is ctxplumb's business, not
+// ctxhttp's; clean here.
+func worker() context.Context {
+	return context.Background()
+}
+
+// fetch returns the response: the close obligation escapes with it.
+func fetch(ctx context.Context, c *http.Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.Do(req)
+}
+
+// escapesToCall hands the response to another function, which owns
+// closing it; clean.
+func escapesToCall(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func drain(resp *http.Response) error {
+	defer resp.Body.Close()
+	_, err := io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// fire discards the response wholesale: same leak, flagged.
+func fire(ctx context.Context, c *http.Client, url string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	_, _ = c.Do(req) // want `response is discarded without closing its Body`
+}
+
+// leaky never closes.
+func leaky(ctx context.Context, c *http.Client, url string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Do(req) // want `response body of resp is never closed`
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// closedInDefer closes inside a deferred closure; clean.
+func closedInDefer(ctx context.Context, c *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		resp.Body.Close()
+	}()
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func suppressedGet(url string) {
+	resp, err := http.Get(url) //lint:allow ctxhttp one-shot tool invocation; no cancellation story
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}

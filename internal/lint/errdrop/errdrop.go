@@ -1,0 +1,218 @@
+// Package errdrop flags discarded error returns: `_ =` assignments and
+// bare call statements whose error result vanishes.
+//
+// PR 5's silent-failure sweep showed what these hide — a checkpoint
+// write that never happened, a trace file half-flushed — so outside
+// test files every dropped error must either be handled or carry a
+// //lint:allow errdrop with the reason the drop is safe.
+//
+// Two shapes are flagged:
+//
+//	f()          // bare call, error result ignored
+//	_ = f()      // explicit discard
+//
+// A partial discard like `v, _ := f()` is NOT flagged: naming what you
+// keep makes the blank visible and reviewable at the call site. Also
+// exempt: deferred and go'd calls (the `defer f.Close()` idiom — the
+// error has nowhere to go), the fmt Print family (this repo prints to
+// stdout and strings.Builder), and methods on strings/bytes/hash types,
+// whose errors are documented to be always nil.
+//
+// The suggested fix (`modeldatalint -fix`) rewrites the statement into
+// the checked-and-logged form, adding the "log" import if needed:
+//
+//	if err := f(); err != nil {
+//		log.Printf("ignored error: %v", err)
+//	}
+package errdrop
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the errdrop rule.
+var Analyzer = &lint.Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded error returns (`_ =` and bare calls) outside tests and annotated " +
+		"sites (fix: rewrite into the checked-and-logged form)",
+	Run: run,
+}
+
+var printFamily = map[string]bool{
+	"Print": true, "Println": true, "Printf": true,
+	"Fprint": true, "Fprintln": true, "Fprintf": true,
+}
+
+// alwaysNilPkgs declare their methods' errors always nil
+// (strings.Builder, bytes.Buffer, hash.Hash).
+var alwaysNilPkgs = map[string]bool{"strings": true, "bytes": true, "hash": true}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(pass, file, n)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, file, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBareCall flags an expression statement that silently drops an
+// error result.
+func checkBareCall(pass *lint.Pass, file *ast.File, stmt *ast.ExprStmt) {
+	call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	n, lastIsError := errorResults(pass.TypesInfo, call)
+	if !lastIsError || exempt(pass.TypesInfo, call) {
+		return
+	}
+	edits := loggedFormEdits(pass, file, stmt.Pos(), stmt.Pos(), stmt.End(), n)
+	pass.ReportFixf(stmt.Pos(), edits,
+		"error returned by %s is silently dropped (bare call); handle it, log it, or annotate //lint:allow errdrop",
+		exprString(pass.Fset, call.Fun))
+}
+
+// checkBlankAssign flags `_ = expr` / `_, _ = f()` where the discarded
+// value (or the call's last result) is an error.
+func checkBlankAssign(pass *lint.Pass, file *ast.File, stmt *ast.AssignStmt) {
+	if stmt.Tok != token.ASSIGN || len(stmt.Rhs) != 1 {
+		return
+	}
+	for _, lhs := range stmt.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return // partial discards name what they keep; not flagged
+		}
+	}
+	rhs := ast.Unparen(stmt.Rhs[0])
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		n, lastIsError := errorResults(pass.TypesInfo, call)
+		if !lastIsError || exempt(pass.TypesInfo, call) {
+			return
+		}
+		// Rewrite `_ = f()` into the logged form by replacing the
+		// blanks with error binders.
+		edits := loggedFormEdits(pass, file, stmt.Pos(), call.Pos(), stmt.End(), n)
+		pass.ReportFixf(stmt.Pos(), edits,
+			"error from %s discarded with _ =; handle it, log it, or annotate //lint:allow errdrop",
+			exprString(pass.Fset, call.Fun))
+		return
+	}
+	if isErrorType(lint.TypeOf(pass.TypesInfo, rhs)) {
+		pass.Reportf(stmt.Pos(),
+			"error value discarded with _ =; handle it, log it, or annotate //lint:allow errdrop")
+	}
+}
+
+// loggedFormEdits builds the checked-and-logged rewrite: the text from
+// stmtPos up to callPos (the `_ = ` prefix, or nothing for a bare call)
+// becomes the if-binder, and the closing logging block lands after the
+// statement. nResults underscores all but the trailing error.
+func loggedFormEdits(pass *lint.Pass, file *ast.File, stmtPos, callPos, stmtEnd token.Pos, nResults int) []lint.TextEdit {
+	binder := "if " + strings.Repeat("_, ", nResults-1) + "err := "
+	edits := []lint.TextEdit{
+		{Pos: stmtPos, End: callPos, NewText: binder},
+		{Pos: stmtEnd, NewText: "; err != nil {\n\tlog.Printf(\"ignored error: %v\", err)\n}", Indent: true},
+	}
+	if e, ok := addImportEdit(file, "log"); ok {
+		edits = append(edits, e)
+	}
+	return edits
+}
+
+// addImportEdit returns the edit that adds `"path"` to the file's
+// imports, or ok=false when it is already imported.
+func addImportEdit(file *ast.File, path string) (lint.TextEdit, bool) {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"`+path+`"` {
+			return lint.TextEdit{}, false
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Rparen.IsValid() {
+			return lint.TextEdit{Pos: gd.Rparen, NewText: "\t\"" + path + "\"\n"}, true
+		}
+		return lint.TextEdit{Pos: gd.End(), NewText: "\nimport \"" + path + "\""}, true
+	}
+	return lint.TextEdit{Pos: file.Name.End(), NewText: "\n\nimport \"" + path + "\""}, true
+}
+
+// errorResults reports how many results the call has and whether the
+// last one is an error.
+func errorResults(info *types.Info, call *ast.CallExpr) (n int, lastIsError bool) {
+	t := lint.TypeOf(info, call)
+	if t == nil {
+		return 0, false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return 0, false
+		}
+		return tuple.Len(), isErrorType(tuple.At(tuple.Len() - 1).Type())
+	}
+	return 1, isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exempt reports whether the call's dropped error is sanctioned: the
+// fmt Print family, or a method on a type from a package documented to
+// always return nil errors.
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name := lint.CalleePkgFunc(info, call); pkg == "fmt" && printFamily[name] {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// The selection's receiver is the static type at the call site
+	// (hash.Hash32 for h.Write), not where the method was declared
+	// (io.Writer) — the site type is what the always-nil contract is
+	// documented on.
+	selection := info.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	rt := selection.Recv()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return alwaysNilPkgs[named.Obj().Pkg().Path()]
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

@@ -1,0 +1,15 @@
+package errdrop
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/linttest"
+)
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, Analyzer, "errdrop")
+}
+
+func TestErrDropFixturesAreFixable(t *testing.T) {
+	linttest.RunFix(t, Analyzer, "errdropfix")
+}

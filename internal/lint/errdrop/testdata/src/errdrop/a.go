@@ -1,0 +1,67 @@
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log"
+	"os"
+	"strings"
+)
+
+func works() error { return nil }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+func noError() int { return 1 }
+
+// handled errors and non-error calls are clean.
+func clean() {
+	if err := works(); err != nil {
+		log.Printf("works: %v", err)
+	}
+	v, err := pair()
+	if err != nil {
+		log.Printf("pair: %v", err)
+	}
+	_ = v
+	noError()
+	fmt.Println("print family errors are documented noise") // exempt
+	var b strings.Builder
+	b.WriteString("always-nil error") // exempt: strings methods never fail
+	h := crc32.NewIEEE()
+	h.Write([]byte("hash.Hash writes never fail")) // exempt: hash package
+}
+
+// partial discards name what they keep and are not flagged.
+func partial() {
+	v, _ := pair()
+	_ = v
+}
+
+// defer and go statements have nowhere to put the error.
+func deferred(f *os.File) {
+	defer f.Close()
+	go works()
+}
+
+func bare() {
+	works() // want `error returned by works is silently dropped`
+}
+
+func blankAssign() {
+	_ = works() // want `error from works discarded with _ =`
+}
+
+func blankPair() {
+	_, _ = pair() // want `error from pair discarded with _ =`
+}
+
+func blankValue() {
+	err := works()
+	_ = err // want `error value discarded with _ =`
+}
+
+func suppressed() {
+	_ = works() //lint:allow errdrop fixture demonstrates a sanctioned drop
+}

@@ -1,0 +1,30 @@
+// Fixture for the errdrop suggested fix: every diagnostic here carries
+// a rewrite into the checked-and-logged form. The "log" import must be
+// added by the fix — this file deliberately starts without it.
+package errdropfix
+
+import (
+	"errors"
+)
+
+func works() error { return nil }
+
+func pair() (int, error) { return 0, errors.New("x") }
+
+func bare() {
+	works() // want `error returned by works is silently dropped`
+}
+
+func blank() {
+	_ = works() // want `error from works discarded with _ =`
+}
+
+func blankPair() {
+	_, _ = pair() // want `error from pair discarded with _ =`
+}
+
+func nested() {
+	if true {
+		works() // want `error returned by works is silently dropped`
+	}
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes computes the result of applying every suggested fix among
+// findings and returns the new content of each affected file, keyed by
+// filename. Files are read from disk; nothing is written — the caller
+// decides between rewriting in place (-fix) and printing a diff
+// (-fix -diff). Overlapping edits are an error: the analyzers in this
+// suite emit disjoint fixes, so overlap means a bug, not a judgment
+// call to paper over.
+func ApplyFixes(findings []Finding) (map[string][]byte, error) {
+	byFile := make(map[string][]Edit)
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], e)
+		}
+	}
+	out := make(map[string][]byte, len(byFile))
+	for name, edits := range byFile {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		fixed, err := applyEdits(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", name, err)
+		}
+		out[name] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits applies edits to src back to front so earlier offsets stay
+// valid.
+func applyEdits(src []byte, edits []Edit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Offset != edits[j].Offset {
+			return edits[i].Offset > edits[j].Offset
+		}
+		return edits[i].End > edits[j].End
+	})
+	lastStart := len(src) + 1
+	var prev *Edit
+	for i := range edits {
+		e := edits[i]
+		// Identical edits collapse: several findings in one file may
+		// each contribute the same "add this import" insertion.
+		if prev != nil && e == *prev {
+			continue
+		}
+		prev = &edits[i]
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(src) {
+			return nil, fmt.Errorf("edit out of range [%d,%d) in %d bytes", e.Offset, e.End, len(src))
+		}
+		if e.End > lastStart {
+			return nil, fmt.Errorf("overlapping suggested fixes at offset %d", e.Offset)
+		}
+		lastStart = e.Offset
+		text := e.NewText
+		if e.Indent {
+			text = strings.ReplaceAll(text, "\n", "\n"+lineIndent(src, e.Offset))
+		}
+		src = append(src[:e.Offset:e.Offset], append([]byte(text), src[e.End:]...)...)
+	}
+	return src, nil
+}
+
+// lineIndent returns the leading whitespace of the line containing
+// offset.
+func lineIndent(src []byte, offset int) string {
+	start := offset
+	for start > 0 && src[start-1] != '\n' {
+		start--
+	}
+	end := start
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return string(src[start:end])
+}

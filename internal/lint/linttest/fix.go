@@ -1,0 +1,103 @@
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modeldata/internal/lint"
+)
+
+// RunFix proves an analyzer's suggested fixes are real repairs: it runs
+// the analyzer over testdata/src/<fixture>, applies every suggested
+// fix, and re-checks the rewritten package — which must both compile
+// (strict type check) and re-lint clean. The whole testdata/src tree is
+// copied into a temp dir first so fixture stubs keep resolving and the
+// checked-in fixtures are never modified.
+func RunFix(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	src := filepath.Join("testdata", "src")
+	dir := filepath.Join(src, fixture)
+	pkg, err := lint.LoadDir(dir, "modeldatalint.test/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("%s: fix fixture produced no diagnostics; nothing to fix", fixture)
+	}
+	fixable := 0
+	for _, f := range findings {
+		if f.Fix != nil {
+			fixable++
+		}
+	}
+	if fixable == 0 {
+		t.Fatalf("%s: none of the %d diagnostics carry a suggested fix", fixture, len(findings))
+	}
+
+	fixed, err := lint.ApplyFixes(findings)
+	if err != nil {
+		t.Fatalf("%s: applying fixes: %v", fixture, err)
+	}
+
+	tmp := t.TempDir()
+	copyFixtureTree(t, src, tmp)
+	for name, content := range fixed {
+		rel, err := filepath.Rel(src, name)
+		if err != nil {
+			t.Fatalf("%s: fix touched %s outside the fixture tree", fixture, name)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, rel), content, 0o644); err != nil {
+			t.Fatalf("writing fixed %s: %v", rel, err)
+		}
+	}
+
+	repkg, errs := lint.LoadDirStrict(filepath.Join(tmp, fixture), "modeldatalint.test/"+fixture)
+	for _, err := range errs {
+		t.Errorf("%s: fixed fixture does not compile: %v", fixture, err)
+	}
+	if t.Failed() {
+		for name, content := range fixed {
+			t.Logf("fixed %s:\n%s", name, content)
+		}
+		return
+	}
+	refindings, err := lint.RunAnalyzers([]*lint.Package{repkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("re-running %s on fixed fixture: %v", a.Name, err)
+	}
+	for _, f := range refindings {
+		t.Errorf("%s: diagnostic survives its own fix: %s", fixture, f)
+	}
+}
+
+// copyFixtureTree copies every .go file under src into dst, preserving
+// structure.
+func copyFixtureTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		content, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := os.MkdirAll(filepath.Dir(filepath.Join(dst, rel)), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), content, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture tree: %v", err)
+	}
+}

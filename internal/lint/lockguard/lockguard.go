@@ -1,0 +1,309 @@
+// Package lockguard enforces documented lock discipline: a struct field
+// annotated `// guarded by <mu>` may only be read or written while a
+// mutex of that name is held in the enclosing function.
+//
+//	type Server struct {
+//		mu      sync.Mutex
+//		tenants map[string]*tenant // guarded by mu
+//	}
+//
+// The check is a forward must-analysis over the intra-function CFG
+// (lint.BuildCFG): `x.Lock()` / `x.RLock()` adds x's final name to the
+// held set, `x.Unlock()` / `x.RUnlock()` removes it (a deferred unlock
+// removes nothing — it runs at return), and at control-flow joins the
+// held sets intersect, so a lock taken on only one branch does not
+// count after the merge.
+//
+// Matching is by mutex *name*, not object identity — deliberately: the
+// serving layer locks s.mu and then touches tenant.inflight, which is
+// documented `// guarded by mu` meaning the owning server's mu. The
+// name convention keeps that idiom checkable; the cost is that two
+// different mutexes with the same field name satisfy each other, which
+// code review owns.
+//
+// Escape hatches: functions whose name ends in Locked assert the caller
+// holds every guard (the evictOverLocked convention); test files are
+// exempt; anything else takes a //lint:allow lockguard with a reason.
+// A `// guarded by` with no mutex name is itself a diagnostic.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"modeldata/internal/lint"
+)
+
+// Analyzer is the lockguard rule.
+var Analyzer = &lint.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated `// guarded by <mu>` may only be accessed while that mutex is " +
+		"held in the enclosing function (*Locked functions assume the caller holds it)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	guarded, malformed := lint.FieldDirectives(pass.TypesInfo, pass.Files, lint.GuardedByDirective)
+	for _, pos := range malformed {
+		pass.Reportf(pos, "`// guarded by` needs a mutex name")
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	// Reduce each annotation to the guard's name and collect the
+	// universe of guards for the dataflow's top element.
+	guards := make(map[*types.Var]string, len(guarded))
+	all := make(map[string]bool)
+	for v, arg := range guarded {
+		name := strings.Trim(strings.Fields(arg)[0], ".,;:")
+		guards[v] = name
+		all[name] = true
+	}
+
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // caller-holds-the-lock convention
+			}
+			for _, body := range bodies(fn.Body) {
+				checkBody(pass, body, guards, all)
+			}
+		}
+	}
+	return nil
+}
+
+// bodies returns fn's body plus every function literal body inside it,
+// each analyzed as its own scope: a closure shipped to a goroutine does
+// not inherit the spawning function's held locks.
+func bodies(outer *ast.BlockStmt) []*ast.BlockStmt {
+	out := []*ast.BlockStmt{outer}
+	ast.Inspect(outer, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// event is one position-ordered happening inside a CFG node.
+type event struct {
+	pos   token.Pos
+	kind  int    // eventAccess, eventLock, eventUnlock
+	guard string // mutex name
+	field string // for accesses
+}
+
+const (
+	eventAccess = iota
+	eventLock
+	eventUnlock
+)
+
+func checkBody(pass *lint.Pass, body *ast.BlockStmt, guards map[*types.Var]string, all map[string]bool) {
+	if !touchesGuarded(pass.TypesInfo, body, guards) {
+		return
+	}
+	g := lint.BuildCFG(body)
+	events := make([][]event, len(g.Blocks))
+	for i, blk := range g.Blocks {
+		for _, node := range blk.Nodes {
+			events[i] = append(events[i], nodeEvents(pass.TypesInfo, node, guards)...)
+		}
+		sort.SliceStable(events[i], func(a, b int) bool {
+			return events[i][a].pos < events[i][b].pos
+		})
+	}
+
+	// Forward must-analysis: IN[b] = ∩ OUT[preds]; unreached blocks
+	// stay at top (all guards held) so dead code is never flagged.
+	preds := make([][]int, len(g.Blocks))
+	for i, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], i)
+		}
+	}
+	top := func() map[string]bool {
+		s := make(map[string]bool, len(all))
+		for n := range all {
+			s[n] = true
+		}
+		return s
+	}
+	in := make([]map[string]bool, len(g.Blocks))
+	out := make([]map[string]bool, len(g.Blocks))
+	for i := range g.Blocks {
+		in[i], out[i] = top(), top()
+	}
+	in[g.Entry.Index] = make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for i := range g.Blocks {
+			if g.Blocks[i] != g.Entry {
+				newIn := top()
+				for _, p := range preds[i] {
+					for n := range newIn {
+						if !out[p][n] {
+							delete(newIn, n)
+						}
+					}
+				}
+				if len(preds[i]) > 0 && !sameSet(newIn, in[i]) {
+					in[i] = newIn
+					changed = true
+				}
+			}
+			newOut := transfer(in[i], events[i])
+			if !sameSet(newOut, out[i]) {
+				out[i] = newOut
+				changed = true
+			}
+		}
+	}
+
+	for i := range g.Blocks {
+		held := copySet(in[i])
+		for _, e := range events[i] {
+			switch e.kind {
+			case eventLock:
+				held[e.guard] = true
+			case eventUnlock:
+				delete(held, e.guard)
+			case eventAccess:
+				if !held[e.guard] {
+					pass.Reportf(e.pos,
+						"field %s is `// guarded by %s` but accessed without holding %s",
+						e.field, e.guard, e.guard)
+				}
+			}
+		}
+	}
+}
+
+func transfer(in map[string]bool, events []event) map[string]bool {
+	held := copySet(in)
+	for _, e := range events {
+		switch e.kind {
+		case eventLock:
+			held[e.guard] = true
+		case eventUnlock:
+			delete(held, e.guard)
+		}
+	}
+	return held
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// touchesGuarded cheaply pre-screens the body (excluding nested
+// literals, which get their own pass) for any guarded-field access.
+func touchesGuarded(info *types.Info, body *ast.BlockStmt, guards map[*types.Var]string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if v, ok := info.Uses[sel.Sel].(*types.Var); ok {
+				if _, ok := guards[v]; ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeEvents extracts the node's lock/unlock calls and guarded-field
+// accesses in source order, skipping nested function literals (separate
+// scopes) and the effects — but not the argument accesses — of deferred
+// calls.
+func nodeEvents(info *types.Info, node ast.Node, guards map[*types.Var]string) []event {
+	var evts []event
+	_, isDefer := node.(*ast.DeferStmt)
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its body is analyzed as its own function
+		case *ast.CallExpr:
+			if name, guard, ok := lockCall(n); ok {
+				kind := eventLock
+				if name == "Unlock" || name == "RUnlock" {
+					kind = eventUnlock
+				}
+				if isDefer && kind == eventUnlock {
+					return true // defer mu.Unlock() releases at return, not here
+				}
+				if !isDefer || kind != eventLock {
+					evts = append(evts, event{pos: n.Pos(), kind: kind, guard: guard})
+				}
+				return true
+			}
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[n.Sel].(*types.Var); ok {
+				if guard, ok := guards[v]; ok {
+					evts = append(evts, event{pos: n.Sel.Pos(), kind: eventAccess, guard: guard, field: n.Sel.Name})
+				}
+			}
+		}
+		return true
+	})
+	return evts
+}
+
+// lockCall matches x.Lock/RLock/Unlock/RUnlock() and returns the method
+// name and the final name of x ("mu" in s.shards[i].mu.Lock()). The
+// match is by name, consistent with the guarded-by convention.
+func lockCall(call *ast.CallExpr) (method, guard string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return sel.Sel.Name, x.Sel.Name, true
+	case *ast.Ident:
+		return sel.Sel.Name, x.Name, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,37 @@
+package lockguard
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modeldata/internal/lint"
+	"modeldata/internal/lint/linttest"
+)
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, Analyzer, "lockguard")
+}
+
+// TestMalformedDirective pins the diagnostic for a `// guarded by` with
+// no mutex name.
+func TestMalformedDirective(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "lockguardbad")
+	pkg, err := lint.LoadDir(dir, "modeldatalint.test/lockguardbad")
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+	var malformed int
+	for _, f := range findings {
+		if strings.Contains(f.Message, "`// guarded by` needs a mutex name") {
+			malformed++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want 1 malformed-directive diagnostic, got %d in:\n%v", malformed, findings)
+	}
+}

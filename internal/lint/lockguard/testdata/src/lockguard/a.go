@@ -1,0 +1,86 @@
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++ // held; clean
+	c.mu.Unlock()
+}
+
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // deferred unlock runs at return; still held here
+}
+
+func (c *counter) bad() int {
+	return c.n // want `field n is .// guarded by mu. but accessed without holding mu`
+}
+
+func (c *counter) afterUnlock() int {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+	return c.n // want `field n is .// guarded by mu. but accessed without holding mu`
+}
+
+// branchy locks on only one path: the join must not count the lock.
+func (c *counter) branchy(lock bool) int {
+	if lock {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
+	return c.n // want `field n is .// guarded by mu. but accessed without holding mu`
+}
+
+// inGoroutine: the closure runs later, without the spawner's lock.
+func (c *counter) inGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `field n is .// guarded by mu. but accessed without holding mu`
+	}()
+}
+
+func (c *counter) suppressed() int {
+	return c.n //lint:allow lockguard snapshot read; staleness is acceptable here
+}
+
+// loadLocked asserts the caller holds the guard.
+func (c *counter) loadLocked() int {
+	return c.n // *Locked convention; clean
+}
+
+type table struct {
+	rw   sync.RWMutex
+	rows map[string]int // guarded by rw
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.rows[k] // read lock counts; clean
+}
+
+func (t *table) unlocked(k string) int {
+	return t.rows[k] // want `field rows is .// guarded by rw. but accessed without holding rw`
+}
+
+// nested access through another struct still matches by guard name: the
+// convention documents which mutex, wherever it lives.
+type owner struct {
+	mu    sync.Mutex
+	inner *counter
+}
+
+func (o *owner) touchInner() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.n++ // o.mu held; name-based match satisfies `guarded by mu`
+}

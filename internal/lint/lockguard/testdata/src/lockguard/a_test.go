@@ -1,0 +1,7 @@
+package lockguard
+
+// Test files are exempt: tests routinely poke guarded state
+// single-threaded.
+func testOnlyAccess(c *counter) int {
+	return c.n
+}

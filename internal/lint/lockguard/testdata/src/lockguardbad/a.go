@@ -1,0 +1,11 @@
+// Fixture with a malformed `// guarded by` — no mutex name. Loaded by
+// a custom test; a want comment on the same line would itself become
+// the directive's argument.
+package lockguardbad
+
+import "sync"
+
+type broken struct {
+	mu sync.Mutex
+	n  int // guarded by
+}

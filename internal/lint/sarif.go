@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// This file renders findings as a SARIF-style document (Static Analysis
+// Results Interchange Format, v2.1.0 shape) so CI can archive lint
+// results as a machine-readable artifact and annotate PRs from it. Only
+// the subset of SARIF the repo consumes is emitted — tool.driver.rules
+// and results with ruleId/message/locations — but the field names and
+// nesting follow the spec, so standard SARIF tooling reads it.
+
+// SARIFLog is the document root.
+type SARIFLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+type SARIFDriver struct {
+	Name  string      `json:"name"`
+	Rules []SARIFRule `json:"rules"`
+}
+
+type SARIFRule struct {
+	ID               string    `json:"id"`
+	ShortDescription SARIFText `json:"shortDescription"`
+}
+
+type SARIFText struct {
+	Text string `json:"text"`
+}
+
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SARIFText       `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+	// Fix carries the suggested fix's resolved edits when the
+	// diagnostic is mechanical; `modeldatalint -fix` applies the same
+	// edits. This is an extension field, not SARIF's fixes shape.
+	Fix *Fix `json:"fix,omitempty"`
+}
+
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF assembles the document for one run of analyzers producing
+// findings. Findings keep RunAnalyzers' deterministic order.
+func SARIF(analyzers []*Analyzer, findings []Finding) *SARIFLog {
+	driver := SARIFDriver{Name: "modeldatalint", Rules: []SARIFRule{}}
+	for _, a := range analyzers {
+		driver.Rules = append(driver.Rules, SARIFRule{
+			ID:               a.Name,
+			ShortDescription: SARIFText{Text: a.Doc},
+		})
+	}
+	results := []SARIFResult{}
+	for _, f := range findings {
+		results = append(results, SARIFResult{
+			RuleID:  f.Rule,
+			Level:   "error",
+			Message: SARIFText{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: f.Position.Filename},
+					Region: SARIFRegion{
+						StartLine:   f.Position.Line,
+						StartColumn: f.Position.Column,
+					},
+				},
+			}},
+			Fix: f.Fix,
+		})
+	}
+	return &SARIFLog{
+		Version: "2.1.0",
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Runs:    []SARIFRun{{Tool: SARIFTool{Driver: driver}, Results: results}},
+	}
+}
+
+// WriteSARIF encodes the SARIF document for findings onto w.
+func WriteSARIF(w io.Writer, analyzers []*Analyzer, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(SARIF(analyzers, findings))
+}

@@ -1,0 +1,15 @@
+package spanleak
+
+import (
+	"testing"
+
+	"modeldata/internal/lint/linttest"
+)
+
+func TestSpanLeak(t *testing.T) {
+	linttest.Run(t, Analyzer, "spanleak")
+}
+
+func TestSpanLeakFixturesAreFixable(t *testing.T) {
+	linttest.RunFix(t, Analyzer, "spanleakfix")
+}

@@ -1,0 +1,22 @@
+// Package obs is a miniature stub of modeldata/internal/obs for
+// spanleak fixtures: same shape (Start returning a context and a span,
+// idempotent End, attribute setters), none of the machinery.
+package obs
+
+import "context"
+
+type Span struct{ ended bool }
+
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+func (s *Span) End() {
+	if s != nil {
+		s.ended = true
+	}
+}
+
+func (s *Span) SetAttr(k, v string) {}
+
+func (s *Span) SetInt(k string, v int64) {}

@@ -1,0 +1,122 @@
+package spanleak
+
+import (
+	"context"
+	"errors"
+
+	"modeldatalint.test/obs"
+)
+
+// --- canonical clean shapes ---
+
+func deferred(ctx context.Context, fail bool) error {
+	ctx, sp := obs.Start(ctx, "deferred")
+	defer sp.End()
+	_ = ctx
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func bothPaths(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "both")
+	if fail {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+func deferClosure(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "closure")
+	defer func() { sp.End() }()
+	if fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func nilCompare(ctx context.Context) {
+	_, sp := obs.Start(ctx, "nilcmp")
+	defer sp.End()
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("k", "v")
+}
+
+func loopClean(ctx context.Context, xs []int) {
+	for range xs {
+		_, sp := obs.Start(ctx, "iter")
+		sp.SetInt("n", int64(len(xs)))
+		sp.End()
+	}
+}
+
+// --- leaks ---
+
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "early") // want `span sp from obs.Start does not reach End`
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+func discard(ctx context.Context) context.Context {
+	ctx2, _ := obs.Start(ctx, "discard") // want `span from obs.Start is discarded`
+	return ctx2
+}
+
+func panics(ctx context.Context, bad bool) {
+	_, sp := obs.Start(ctx, "panics") // want `does not reach End`
+	if bad {
+		panic("bad input")
+	}
+	sp.End()
+}
+
+func loopBreak(ctx context.Context, xs []int) {
+	for _, x := range xs {
+		_, sp := obs.Start(ctx, "iter") // want `does not reach End`
+		if x < 0 {
+			break
+		}
+		sp.End()
+	}
+}
+
+func inClosure(ctx context.Context) func() {
+	return func() {
+		_, sp := obs.Start(ctx, "inner") // want `does not reach End`
+		sp.SetInt("n", 1)
+	}
+}
+
+// --- escapes: the End obligation moves with the span, no diagnostic ---
+
+func escapesReturn(ctx context.Context) *obs.Span {
+	_, sp := obs.Start(ctx, "escape-return")
+	return sp
+}
+
+func escapesArg(ctx context.Context) {
+	_, sp := obs.Start(ctx, "escape-arg")
+	finish(sp)
+}
+
+func finish(sp *obs.Span) { sp.End() }
+
+// --- suppression ---
+
+func suppressed(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "suppressed") //lint:allow spanleak fixture abandons the span on purpose
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}

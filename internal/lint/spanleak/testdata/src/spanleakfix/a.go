@@ -1,0 +1,42 @@
+// Package spanleakfix contains only mechanically fixable leaks:
+// `modeldatalint -fix` must turn each into code that compiles and
+// re-lints clean, which linttest.RunFix asserts.
+package spanleakfix
+
+import (
+	"context"
+	"errors"
+
+	"modeldatalint.test/obs"
+)
+
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "early") // want `does not reach End`
+	if fail {
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+func forgotten(ctx context.Context, n int) int {
+	_, sp := obs.Start(ctx, "forgotten") // want `does not reach End`
+	if n > 0 {
+		sp.SetInt("n", int64(n))
+		return n * 2
+	}
+	return 0
+}
+
+func switchLeak(ctx context.Context, mode string) error {
+	_, sp := obs.Start(ctx, "switch") // want `does not reach End`
+	switch mode {
+	case "a":
+		sp.End()
+		return nil
+	case "b":
+		return errors.New("mode b leaks")
+	}
+	sp.End()
+	return nil
+}

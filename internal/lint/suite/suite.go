@@ -5,18 +5,29 @@ package suite
 
 import (
 	"modeldata/internal/lint"
+	"modeldata/internal/lint/boundedgrowth"
+	"modeldata/internal/lint/ctxhttp"
 	"modeldata/internal/lint/ctxplumb"
+	"modeldata/internal/lint/errdrop"
 	"modeldata/internal/lint/floateq"
+	"modeldata/internal/lint/lockguard"
 	"modeldata/internal/lint/maporder"
 	"modeldata/internal/lint/rngsource"
+	"modeldata/internal/lint/spanleak"
 )
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, in stable order: the four
+// determinism-era rules first, then the five concurrency-era rules.
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		ctxplumb.Analyzer,
 		floateq.Analyzer,
 		maporder.Analyzer,
 		rngsource.Analyzer,
+		boundedgrowth.Analyzer,
+		ctxhttp.Analyzer,
+		errdrop.Analyzer,
+		lockguard.Analyzer,
+		spanleak.Analyzer,
 	}
 }

@@ -26,8 +26,8 @@ type entry[K comparable, V any] struct {
 type Cache[K comparable, V any] struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List // front = most recent; elements hold *entry[K, V]
-	idx map[K]*list.Element
+	ll  *list.List          // guarded by mu; front = most recent; elements hold *entry[K, V]
+	idx map[K]*list.Element // guarded by mu
 }
 
 // New returns an empty cache bounded to capacity entries. A capacity
@@ -68,7 +68,7 @@ func (c *Cache[K, V]) Add(k K, v V) (evicted int) {
 		return 0
 	}
 	c.idx[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
-	return c.evictOver()
+	return c.evictOverLocked()
 }
 
 // GetOrAdd returns the value already cached under k (loaded=true), or
@@ -84,12 +84,12 @@ func (c *Cache[K, V]) GetOrAdd(k K, v V) (actual V, loaded bool, evicted int) {
 		return el.Value.(*entry[K, V]).val, true, 0
 	}
 	c.idx[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
-	return v, false, c.evictOver()
+	return v, false, c.evictOverLocked()
 }
 
-// evictOver drops least-recently-used entries until the cache fits its
-// capacity. Callers hold c.mu.
-func (c *Cache[K, V]) evictOver() (evicted int) {
+// evictOverLocked drops least-recently-used entries until the cache
+// fits its capacity. Callers hold c.mu.
+func (c *Cache[K, V]) evictOverLocked() (evicted int) {
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)

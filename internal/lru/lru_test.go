@@ -101,3 +101,39 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("Len = %d exceeds capacity", c.Len())
 	}
 }
+
+// TestLenBoundedDuringChurn reads Len concurrently with writer churn:
+// because eviction happens under the same mutex as insertion, no
+// interleaving may ever observe the cache above capacity.
+func TestLenBoundedDuringChurn(t *testing.T) {
+	const capacity = 8
+	c := New[int, int](capacity)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(g*10000+i, i)
+			}
+		}(g)
+	}
+	for i := 0; i < 5000; i++ {
+		if n := c.Len(); n > capacity {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("Len = %d observed above capacity %d during churn", n, capacity)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Fatalf("Len = %d after churn, want <= %d", n, capacity)
+	}
+}

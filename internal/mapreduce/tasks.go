@@ -92,10 +92,12 @@ type scheduler[T any] struct {
 	clock  obs.Clock             // injectable scheduler clock (straggler detection, durations)
 	traced bool                  // a tracer rides the context: emit per-attempt spans
 
-	mu        sync.Mutex
-	tasks     []taskState
-	results   []T
-	durations []time.Duration
+	mu      sync.Mutex
+	tasks   []taskState
+	results []T
+	// bounded by one committed duration per task: commitLocked appends
+	// exactly once per slot, so the slice never outgrows len(tasks)
+	durations []time.Duration // guarded by mu
 	remaining int
 	ts        taskStats
 	fatal     error

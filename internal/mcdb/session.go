@@ -34,6 +34,14 @@ const (
 // repeat-the-same-run case hot while bounding residency.
 const DefaultBundleCacheCap = 8
 
+// DefaultPreparedCacheCap bounds the per-session prepared-statement
+// cache. Each entry pins a parsed plan plus its join-order cache, and a
+// session serving arbitrary SQL text (the query service's tenants do)
+// would otherwise grow one entry per distinct statement forever — the
+// same leak class the bundle cache already closes. Sixty-four keeps any
+// realistic statement working set resident.
+const DefaultPreparedCacheCap = 64
+
 // This file unifies the two MCDB execution strategies behind one entry
 // point. Historically callers chose between MonteCarloNaive (arbitrary
 // query closure, full re-instantiation per iteration) and
@@ -106,14 +114,13 @@ type Session struct {
 
 	bundles *lru.Cache[bundleKey, map[string]*BundleTable]
 
-	prepMu   sync.Mutex
-	prepared map[string]*engine.Prepared
+	prepared *lru.Cache[string, *engine.Prepared]
 
 	// explainMu guards the lazily built seed-0 instantiation that
 	// EXPLAIN plans against; building it once per session keeps
 	// repeated EXPLAINs from paying a full instantiation each call.
 	explainMu   sync.Mutex
-	explainInst *engine.Database
+	explainInst *engine.Database // guarded by explainMu
 }
 
 type bundleKey struct {
@@ -132,7 +139,11 @@ func (db *DB) NewSession() *Session {
 // clamped to 1. Long-running services size this to their per-tenant
 // memory budget.
 func (db *DB) NewSessionCache(capacity int) *Session {
-	return &Session{db: db, bundles: lru.New[bundleKey, map[string]*BundleTable](capacity)}
+	return &Session{
+		db:       db,
+		bundles:  lru.New[bundleKey, map[string]*BundleTable](capacity),
+		prepared: lru.New[string, *engine.Prepared](DefaultPreparedCacheCap),
+	}
 }
 
 // Exec runs q for opts.Iterations Monte Carlo iterations under the
@@ -311,24 +322,22 @@ func (s *Session) execNaive(ctx context.Context, spec *TableSpec, q AggQuery, op
 // Prepared choice cache replays it on the rest (every instantiation of
 // a spec has the same row counts, so the cached order always matches).
 
-// Prepared parses sql once and caches it on the session. Repeated
-// calls with the same text return the same *engine.Prepared, sharing
-// its join-order cache.
+// Prepared parses sql once and caches it on the session's bounded LRU.
+// Repeated calls with the same text return the same *engine.Prepared,
+// sharing its join-order cache; statements evicted past
+// DefaultPreparedCacheCap are simply re-prepared on next use.
 func (s *Session) Prepared(sql string) (*engine.Prepared, error) {
-	s.prepMu.Lock()
-	defer s.prepMu.Unlock()
-	if p, ok := s.prepared[sql]; ok {
+	if p, ok := s.prepared.Get(sql); ok {
 		return p, nil
 	}
 	p, err := engine.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	if s.prepared == nil {
-		s.prepared = make(map[string]*engine.Prepared)
-	}
-	s.prepared[sql] = p
-	return p, nil
+	// Two goroutines racing to prepare the same text agree on one
+	// winner, so each statement keeps a single join-order cache.
+	actual, _, _ := s.prepared.GetOrAdd(sql, p)
+	return actual, nil
 }
 
 // ExecSQL runs a scalar SELECT for opts.Iterations Monte Carlo

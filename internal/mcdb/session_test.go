@@ -2,6 +2,7 @@ package mcdb
 
 import (
 	"context"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -305,6 +306,45 @@ func TestSessionConcurrentHammer(t *testing.T) {
 	wg.Wait()
 	close(errc)
 	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedCacheBoundedUnderStatementChurn is the companion
+// regression to the bundle-cache test for the other per-session cache:
+// a session fed distinct SQL texts (a query service relaying arbitrary
+// tenant statements) must keep its prepared-statement cache bounded
+// instead of pinning every plan ever parsed, while repeated texts still
+// share one Prepared.
+func TestPreparedCacheBoundedUnderStatementChurn(t *testing.T) {
+	db := sbpFixture(t, 4)
+	s := db.NewSession()
+
+	first, err := s.Prepared("SELECT AVG(sbp) FROM sbp_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Prepared("SELECT AVG(sbp) FROM sbp_data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("repeated statement text must share one *engine.Prepared")
+	}
+
+	for i := 0; i < 3*DefaultPreparedCacheCap; i++ {
+		sql := "SELECT AVG(sbp) FROM sbp_data WHERE sbp > " + strconv.Itoa(i)
+		if _, err := s.Prepared(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.prepared.Len(); got > DefaultPreparedCacheCap {
+		t.Fatalf("prepared cache holds %d entries, capacity %d", got, DefaultPreparedCacheCap)
+	}
+
+	// An evicted statement still works — it is simply re-prepared.
+	ctx := context.Background()
+	if _, err := s.ExecSQL(ctx, "SELECT AVG(sbp) FROM sbp_data", ExecOptions{Iterations: 3, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -93,7 +93,7 @@ func (t *Tracer) WriteChromeTraceFile(path string) error {
 		return err
 	}
 	if err := t.WriteChromeTrace(f); err != nil {
-		f.Close()
+		f.Close() //lint:allow errdrop error-path cleanup; the trace write error is the one to surface
 		return err
 	}
 	return f.Close()

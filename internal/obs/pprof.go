@@ -20,7 +20,7 @@ func StartCPUProfile(path string) (stop func() error, err error) {
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	if err := pprof.StartCPUProfile(f); err != nil {
-		f.Close()
+		f.Close() //lint:allow errdrop error-path cleanup; the profile start error is the one to surface
 		return nil, fmt.Errorf("obs: cpu profile: %w", err)
 	}
 	return func() error {
@@ -39,7 +39,7 @@ func WriteHeapProfile(path string) error {
 	}
 	runtime.GC()
 	if err := pprof.WriteHeapProfile(f); err != nil {
-		f.Close()
+		f.Close() //lint:allow errdrop error-path cleanup; the profile write error is the one to surface
 		return fmt.Errorf("obs: heap profile: %w", err)
 	}
 	return f.Close()

@@ -21,9 +21,11 @@ import (
 type Tracer struct {
 	clock Clock
 
-	mu     sync.Mutex
-	spans  []*Span
-	nextID uint64
+	mu sync.Mutex
+	// bounded by the scrape cycle: /debug/trace swaps in a fresh Tracer
+	// and drops this one, so spans accumulate only between scrapes
+	spans  []*Span // guarded by mu
+	nextID uint64  // guarded by mu
 }
 
 // NewTracer returns a Tracer timed by the wall clock.
@@ -54,9 +56,11 @@ type Span struct {
 	name   string
 	start  time.Time
 
-	mu    sync.Mutex
-	end   time.Time // zero until End
-	attrs []Attr
+	mu  sync.Mutex
+	end time.Time // guarded by mu; zero until End
+	// bounded by the instrumentation sites: each span gets a fixed
+	// handful of SetAttr calls, never per-iteration appends
+	attrs []Attr // guarded by mu
 }
 
 // start registers a new span. parent 0 makes a root span.

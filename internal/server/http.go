@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -79,7 +80,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.reg.Gauge(MetricTenants).Set(int64(len(s.tenants)))
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, s.reg.Snapshot().String()+"\n")
+	writeBody(w, s.reg.Snapshot().String()+"\n")
 }
 
 // handleTrace exports the spans recorded since the previous scrape as
@@ -103,7 +104,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
-	io.WriteString(w, "ok\n")
+	writeBody(w, "ok\n")
+}
+
+// writeBody writes a rendered text response. A failed write means the
+// client went away mid-response; logging it keeps the disconnect from
+// vanishing silently (the PR 5 silent-failure rule).
+func writeBody(w http.ResponseWriter, body string) {
+	if _, err := io.WriteString(w, body); err != nil {
+		log.Printf("server: writing response: %v", err)
+	}
 }
 
 // decodeJSON decodes a bounded JSON body into v.
@@ -131,14 +141,16 @@ func writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	if encErr := json.NewEncoder(w).Encode(errorResponse{Error: err.Error()}); encErr != nil {
+		log.Printf("server: writing error response: %v", encErr)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// The status line is already written; the truncated body will
-		// fail to parse client-side, which is the best signal left.
-		_ = err
+		// The status line is already written, so the client sees a
+		// truncated body; the log line is the server-side signal.
+		log.Printf("server: writing response: %v", err)
 	}
 }

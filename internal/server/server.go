@@ -89,6 +89,13 @@ type Config struct {
 	// PageSize caps samples per response page; requests asking for more
 	// are clamped.
 	PageSize int
+	// MaxTenants bounds how many tenants the server will materialize
+	// through Open. Each tenant pins a database plus per-shard session
+	// caches, and Open runs on the request path, so without a cap any
+	// client that can invent tenant names can grow server memory without
+	// bound. Preregistration via AddTenant is operator-driven and not
+	// subject to the cap.
+	MaxTenants int
 	// Trace enables span collection for /debug/trace. Off by default:
 	// spans accumulate until scraped, which an unscraped server should
 	// not pay for.
@@ -108,6 +115,7 @@ const (
 	DefaultMaxIterations     = 100000
 	DefaultResultCacheCap    = 256
 	DefaultPageSize          = 1000
+	DefaultMaxTenants        = 64
 )
 
 // Server hosts per-tenant Monte Carlo query sessions behind an HTTP
@@ -123,9 +131,10 @@ type Server struct {
 	tracer atomic.Pointer[obs.Tracer]
 
 	mu       sync.Mutex
-	draining bool
-	inflight int
-	tenants  map[string]*tenant
+	draining bool // guarded by mu
+	inflight int  // guarded by mu
+	// bounded by the Config.MaxTenants admission cap in tenantFor
+	tenants map[string]*tenant // guarded by mu
 }
 
 // tenant is one isolated namespace: its own database, one session per
@@ -135,7 +144,7 @@ type tenant struct {
 	name     string
 	db       *mcdb.DB
 	shards   []*mcdb.Session
-	inflight int
+	inflight int // guarded by mu (the owning Server's)
 }
 
 // resultKey identifies one cacheable answer. Determinism makes the
@@ -174,6 +183,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = DefaultMaxTenants
 	}
 	stats := parallel.NewStats()
 	s := &Server{
@@ -221,6 +233,12 @@ func (s *Server) tenantFor(name string) (*tenant, error) {
 	}
 	if s.cfg.Open == nil {
 		return nil, &StatusError{Code: 404, Msg: fmt.Sprintf("unknown tenant %q", name)}
+	}
+	// Cap request-path materialization: tenants are never evicted, so
+	// past this point every unknown name would be a permanent memory
+	// grant to whoever sent it.
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, &StatusError{Code: 429, Msg: fmt.Sprintf("tenant capacity (%d) reached", s.cfg.MaxTenants)}
 	}
 	db, err := s.cfg.Open(name)
 	if err != nil {

@@ -564,3 +564,40 @@ func TestSplitRange(t *testing.T) {
 		}
 	}
 }
+
+// TestTenantCapBoundsMaterialization is the unbounded-tenant-map
+// regression: tenantFor materializes a tenant per unknown name on the
+// request path, so any client that can invent names could grow server
+// memory forever. Past Config.MaxTenants new names are rejected with
+// 429 while existing tenants keep working; preregistration via
+// AddTenant stays exempt from the cap.
+func TestTenantCapBoundsMaterialization(t *testing.T) {
+	s := New(Config{MaxTenants: 2,
+		Open: func(string) (*mcdb.DB, error) { return experiments.SBPDatabase(4) }})
+
+	if _, err := s.tenantFor("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.tenantFor("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.tenantFor("c"); !isStatus(err, 429) {
+		t.Fatalf("third tenant must hit the cap with 429, got: %v", err)
+	}
+	// Known tenants are unaffected by the cap.
+	if _, err := s.tenantFor("a"); err != nil {
+		t.Fatalf("existing tenant rejected after cap: %v", err)
+	}
+	// The operator path bypasses the cap by design.
+	db, err := experiments.SBPDatabase(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddTenant("ops", db)
+	if _, err := s.tenantFor("ops"); err != nil {
+		t.Fatalf("preregistered tenant rejected: %v", err)
+	}
+	if got := s.Stats().Registry().Gauge(MetricTenants).Value(); got != 3 {
+		t.Fatalf("tenants gauge = %d, want 3", got)
+	}
+}

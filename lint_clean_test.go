@@ -1,10 +1,10 @@
 package modeldata_test
 
-// The repository's own determinism and numeric-safety lint suite, run
-// over the whole module as a test. This is the programmatic twin of
-// `go run ./cmd/modeldatalint ./...`: any unsuppressed diagnostic from
-// rngsource, maporder, floateq, or ctxplumb fails the build. New code
-// either satisfies the invariants or carries an explicit
+// The repository's own determinism, numeric-safety, and concurrency
+// lint suite, run over the whole module as a test. This is the
+// programmatic twin of `go run ./cmd/modeldatalint ./...`: any
+// unsuppressed diagnostic from the nine analyzers fails the build. New
+// code either satisfies the invariants or carries an explicit
 // `//lint:allow <rule> <reason>` justification reviewers can see.
 
 import (
@@ -13,6 +13,26 @@ import (
 	"modeldata/internal/lint"
 	"modeldata/internal/lint/suite"
 )
+
+// TestSuiteComplete pins the analyzer roster: the sweep below only
+// proves cleanliness for rules that actually ran, so a rule silently
+// dropped from the suite would otherwise un-enforce its invariant
+// without any test noticing.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"ctxplumb", "floateq", "maporder", "rngsource",
+		"boundedgrowth", "ctxhttp", "errdrop", "lockguard", "spanleak",
+	}
+	all := suite.All()
+	if len(all) != len(want) {
+		t.Fatalf("suite.All() has %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("suite.All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
 
 func TestRepositoryLintClean(t *testing.T) {
 	if testing.Short() {
