@@ -1,0 +1,100 @@
+package colstore
+
+// Segment decode: reading column blocks back into engine vectors. Each
+// block reads with one positioned read (its footer offset/length),
+// verifies its fnv64a checksum, then decodes into a typed vector that
+// engine.BlockOf assembles without row boxing.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"modeldata/internal/engine"
+)
+
+// decodeSegment reads the projected columns of one segment into an
+// engine.ColumnBlock.
+func decodeSegment(sm *segMeta, schema engine.Schema, proj []int) (*engine.ColumnBlock, error) {
+	f, err := os.Open(sm.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only descriptor; close errors carry no data loss
+
+	outSchema := make(engine.Schema, len(proj))
+	vecs := make([]any, len(proj))
+	for i, j := range proj {
+		cm := &sm.cols[j]
+		outSchema[i] = engine.Column{Name: cm.name, Type: cm.typ}
+		// bounded by the column's footer-declared block size
+		raw := make([]byte, cm.size)
+		if _, err := f.ReadAt(raw, cm.off); err != nil {
+			return nil, fmt.Errorf("%s: column %q: %w", sm.path, cm.name, err)
+		}
+		if got := fnv64a(fnvOffset, raw); got != cm.sum {
+			return nil, fmt.Errorf("%w: %s column %q block checksum mismatch", ErrCorrupt, sm.path, cm.name)
+		}
+		vec, err := decodeBlock(raw, cm.typ, int(sm.rows))
+		if err != nil {
+			return nil, fmt.Errorf("%s: column %q: %w", sm.path, cm.name, err)
+		}
+		vecs[i] = vec
+	}
+	return engine.BlockOf(sm.name, outSchema, vecs)
+}
+
+// decodeBlock decodes one column block's bytes into a typed vector.
+func decodeBlock(raw []byte, typ engine.Type, rows int) (any, error) {
+	switch typ {
+	case engine.TypeInt:
+		if len(raw) != rows*8 {
+			return nil, fmt.Errorf("%w: int block is %d bytes, want %d", ErrCorrupt, len(raw), rows*8)
+		}
+		// bounded by the segment's footer-declared row count
+		v := make([]int64, rows)
+		for i := range v {
+			v[i] = int64(binary.BigEndian.Uint64(raw[i*8:]))
+		}
+		return v, nil
+	case engine.TypeFloat:
+		if len(raw) != rows*8 {
+			return nil, fmt.Errorf("%w: float block is %d bytes, want %d", ErrCorrupt, len(raw), rows*8)
+		}
+		// bounded by the segment's footer-declared row count
+		v := make([]float64, rows)
+		for i := range v {
+			v[i] = math.Float64frombits(binary.BigEndian.Uint64(raw[i*8:]))
+		}
+		return v, nil
+	case engine.TypeString:
+		// bounded by the segment's footer-declared row count
+		v := make([]string, rows)
+		pos := 0
+		for i := range v {
+			n, w := binary.Uvarint(raw[pos:])
+			if w <= 0 || pos+w+int(n) > len(raw) {
+				return nil, fmt.Errorf("%w: truncated string block", ErrCorrupt)
+			}
+			pos += w
+			v[i] = string(raw[pos : pos+int(n)])
+			pos += int(n)
+		}
+		if pos != len(raw) {
+			return nil, fmt.Errorf("%w: %d trailing string-block bytes", ErrCorrupt, len(raw)-pos)
+		}
+		return v, nil
+	case engine.TypeBool:
+		if len(raw) != rows {
+			return nil, fmt.Errorf("%w: bool block is %d bytes, want %d", ErrCorrupt, len(raw), rows)
+		}
+		// bounded by the segment's footer-declared row count
+		v := make([]bool, rows)
+		for i := range v {
+			v[i] = raw[i] != 0
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("%w: unknown column type %d", ErrCorrupt, typ)
+}

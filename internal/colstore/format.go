@@ -1,0 +1,301 @@
+// Package colstore is the on-disk columnar storage backend: tables
+// partition into fixed-row-count segment files, each holding one typed
+// block per column plus a footer of per-column zone maps (row count,
+// min/max, NaN presence) and fnv64a checksums. A Store opens a segment
+// directory and implements engine.Storage, streaming segments back as
+// engine.ColumnBlocks with zone-map pruning against the scan's
+// predicate — so the whole operator suite (filters, joins, group-by,
+// the planner, SQL) runs unchanged over on-disk data, and the
+// storage-equivalence suite can pin its results byte-identical to the
+// in-memory path.
+//
+// Segment layout (all integers big-endian or uvarint as noted):
+//
+//	"MDCS" <version:1>                      header
+//	column blocks, concatenated:            per column, rows values
+//	    int    8B two's-complement BE each
+//	    float  8B IEEE-754 bits BE each
+//	    string uvarint length + bytes each
+//	    bool   1B each
+//	footer:
+//	    uvarint rows, uvarint len(name)+name, uvarint ncols
+//	    per column:
+//	        uvarint len(colname)+colname, 1B type
+//	        uvarint offset, uvarint length      (block bounds)
+//	        8B fnv64a of the block bytes
+//	        1B zone flags (1=HasRange, 2=HasNaN)
+//	        uvarint nulls (always 0; reserved)
+//	        typed min, typed max                (when HasRange)
+//	    8B fnv64a of the footer bytes above
+//	"MDCF" <footerLen:8BE>                  trailer
+//
+// The trailer is fixed-size so a reader can locate the footer from the
+// file end; per-block checksums verify lazily at decode, so opening a
+// store reads only footers.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"modeldata/internal/engine"
+)
+
+const (
+	segMagic     = "MDCS"
+	segTrailer   = "MDCF"
+	segVersion   = 1
+	trailerBytes = 4 + 8 // magic + footer length
+
+	// DefaultSegmentRows is the default rows-per-segment partition
+	// size: 64k rows keeps segments near a few MB for typical schemas
+	// while giving zone maps enough granularity to prune selectively.
+	DefaultSegmentRows = 1 << 16
+
+	zmFlagRange = 1
+	zmFlagNaN   = 2
+)
+
+// ErrCorrupt reports a segment file whose structure or checksums do
+// not verify.
+var ErrCorrupt = fmt.Errorf("colstore: corrupt segment")
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// fnv64a extends hash h with b (FNV-1a); seed with fnvOffset.
+func fnv64a(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// colMeta is one column's footer entry.
+type colMeta struct {
+	name string
+	typ  engine.Type
+	off  int64
+	size int64
+	sum  uint64
+	zone engine.ZoneMap
+}
+
+// segMeta is one segment's parsed footer.
+type segMeta struct {
+	path string
+	rows int64
+	name string
+	cols []colMeta
+}
+
+// appendUvarint appends v to dst.
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// appendU64 appends v big-endian.
+func appendU64(dst []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return append(dst, buf[:]...)
+}
+
+// appendTypedValue appends a zone-map bound in the column's typed
+// encoding. Unlike the engine's key encoding — which collapses
+// float-representable ints into float bit space — this keeps exact
+// int64 bounds, which pruning comparisons need.
+func appendTypedValue(dst []byte, typ engine.Type, v engine.Value) []byte {
+	switch typ {
+	case engine.TypeInt:
+		return appendU64(dst, uint64(v.AsInt()))
+	case engine.TypeFloat:
+		return appendU64(dst, math.Float64bits(v.AsFloat()))
+	case engine.TypeString:
+		s := v.AsString()
+		dst = appendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case engine.TypeBool:
+		if v.AsBool() {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+	return dst
+}
+
+// byteReader reads from an in-memory footer slice, tracking position.
+type byteReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated uvarint", ErrCorrupt)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.b) {
+		return nil, fmt.Errorf("%w: truncated field", ErrCorrupt)
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *byteReader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *byteReader) byte() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// typedValue reads one zone-map bound written by appendTypedValue.
+func (r *byteReader) typedValue(typ engine.Type) (engine.Value, error) {
+	switch typ {
+	case engine.TypeInt:
+		u, err := r.u64()
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.Int(int64(u)), nil
+	case engine.TypeFloat:
+		u, err := r.u64()
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.Float(math.Float64frombits(u)), nil
+	case engine.TypeString:
+		n, err := r.uvarint()
+		if err != nil {
+			return engine.Value{}, err
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.Str(string(b)), nil
+	case engine.TypeBool:
+		b, err := r.byte()
+		if err != nil {
+			return engine.Value{}, err
+		}
+		return engine.Bool(b != 0), nil
+	}
+	return engine.Value{}, fmt.Errorf("%w: unknown bound type", ErrCorrupt)
+}
+
+// parseFooter decodes the footer bytes (checksum already verified).
+func parseFooter(path string, footer []byte) (*segMeta, error) {
+	r := &byteReader{b: footer}
+	rows, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nameLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	name, err := r.bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ncols > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible column count %d", ErrCorrupt, ncols)
+	}
+	sm := &segMeta{path: path, rows: int64(rows), name: string(name)}
+	// bounded by the footer's verified column count
+	sm.cols = make([]colMeta, 0, ncols)
+	for i := uint64(0); i < ncols; i++ {
+		cnLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		cn, err := r.bytes(int(cnLen))
+		if err != nil {
+			return nil, err
+		}
+		tb, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		typ := engine.Type(tb)
+		if typ > engine.TypeBool {
+			return nil, fmt.Errorf("%w: unknown column type %d", ErrCorrupt, tb)
+		}
+		off, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sum, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.uvarint(); err != nil { // nulls, reserved
+			return nil, err
+		}
+		cm := colMeta{
+			name: string(cn), typ: typ,
+			off: int64(off), size: int64(size), sum: sum,
+			zone: engine.ZoneMap{
+				Rows:     int64(rows),
+				HasRange: flags&zmFlagRange != 0,
+				HasNaN:   flags&zmFlagNaN != 0,
+			},
+		}
+		if cm.zone.HasRange {
+			if cm.zone.Min, err = r.typedValue(typ); err != nil {
+				return nil, err
+			}
+			if cm.zone.Max, err = r.typedValue(typ); err != nil {
+				return nil, err
+			}
+		}
+		sm.cols = append(sm.cols, cm)
+	}
+	if r.pos != len(footer) {
+		return nil, fmt.Errorf("%w: %d trailing footer bytes", ErrCorrupt, len(footer)-r.pos)
+	}
+	return sm, nil
+}
+
+// schema reconstructs the segment's engine schema.
+func (sm *segMeta) schema() engine.Schema {
+	s := make(engine.Schema, len(sm.cols))
+	for i, c := range sm.cols {
+		s[i] = engine.Column{Name: c.name, Type: c.typ}
+	}
+	return s
+}

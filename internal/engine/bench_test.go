@@ -6,7 +6,7 @@ package engine_test
 //
 //	go test -run '^$' -bench BenchmarkEngine -benchmem ./internal/engine/
 //
-// cmd/benchjson records the same workloads into BENCH_6.json.
+// cmd/benchjson records the same workloads into BENCH_9.json.
 
 import (
 	"fmt"
@@ -42,7 +42,7 @@ func BenchmarkEngineDistinct(b *testing.B) { benchOp(b, "Distinct") }
 
 // BenchmarkPlanner times join-heavy queries with the cost-based
 // planner off (written join order) and on (reordered + pushdown).
-// cmd/benchjson records the same pairs into BENCH_6.json.
+// cmd/benchjson records the same pairs into BENCH_9.json.
 func BenchmarkPlanner(b *testing.B) {
 	for _, w := range enginebench.PlannerWorkloads() {
 		b.Run(fmt.Sprintf("%s/rows=%d/off", w.Op, w.Rows), func(b *testing.B) {

@@ -387,6 +387,14 @@ func equiJoinIdx(l, r *ColumnBlock, li, ri int, buildLeft bool, sc *Scratch) (li
 // pre-encoded uint64 key codes; no per-row key strings are constructed.
 // Output columns are prefixed with the block names.
 func (b *ColumnBlock) EquiJoin(r *ColumnBlock, leftCol, rightCol string, sc *Scratch) (*ColumnBlock, error) {
+	return b.equiJoinBudget(r, leftCol, rightCol, sc, 0, "")
+}
+
+// equiJoinBudget is EquiJoin with a spill policy: when budget > 0 and
+// the build side's estimated hash footprint exceeds it, the join
+// Grace-partitions to disk under dir (see spill.go). Output is
+// byte-identical either way.
+func (b *ColumnBlock) equiJoinBudget(r *ColumnBlock, leftCol, rightCol string, sc *Scratch, budget int64, dir string) (*ColumnBlock, error) {
 	sc = sc.orNew()
 	l := b
 	li, err := l.ColIndex(leftCol)
@@ -398,7 +406,7 @@ func (b *ColumnBlock) EquiJoin(r *ColumnBlock, leftCol, rightCol string, sc *Scr
 		return nil, fmt.Errorf("join right: %w", err)
 	}
 	// Build on the smaller side, exactly as the row path chooses it.
-	lidx, ridx := equiJoinIdx(l, r, li, ri, l.Len() < r.Len(), sc)
+	lidx, ridx := joinPairs(l, r, li, ri, l.Len() < r.Len(), sc, budget, dir)
 
 	out := &ColumnBlock{
 		Name:   l.Name + "_" + r.Name,
@@ -497,16 +505,21 @@ func (b *ColumnBlock) groupIDs(keyIdx []int, sc *Scratch) (gids []int32, firstP 
 // results are small, and the row form keeps the zero-Value semantics of
 // empty global MIN/MAX groups representable.
 func (b *ColumnBlock) GroupBy(keys []string, aggs []Aggregate, sc *Scratch) (*Table, error) {
-	sc = sc.orNew()
-	keyIdx := make([]int, len(keys))
+	return b.groupByBudget(keys, aggs, sc, 0, "")
+}
+
+// groupCols resolves the key and aggregate column indexes (COUNT takes
+// no column; its index is -1).
+func (b *ColumnBlock) groupCols(keys []string, aggs []Aggregate) (keyIdx, aggIdx []int, err error) {
+	keyIdx = make([]int, len(keys))
 	for i, k := range keys {
 		j, err := b.ColIndex(k)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		keyIdx[i] = j
 	}
-	aggIdx := make([]int, len(aggs))
+	aggIdx = make([]int, len(aggs))
 	for i, a := range aggs {
 		if a.Fn == AggCount {
 			aggIdx[i] = -1
@@ -514,9 +527,30 @@ func (b *ColumnBlock) GroupBy(keys []string, aggs []Aggregate, sc *Scratch) (*Ta
 		}
 		j, err := b.ColIndex(a.Col)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		aggIdx[i] = j
+	}
+	return keyIdx, aggIdx, nil
+}
+
+// groupByBudget is GroupBy with a spill policy: when budget > 0 and the
+// estimated group hash footprint exceeds it, rows Grace-partition to
+// disk under dir and each partition aggregates separately (see
+// spill.go). Keyless group-bys never spill — one global group needs no
+// hash table.
+func (b *ColumnBlock) groupByBudget(keys []string, aggs []Aggregate, sc *Scratch, budget int64, dir string) (*Table, error) {
+	sc = sc.orNew()
+	keyIdx, aggIdx, err := b.groupCols(keys, aggs)
+	if err != nil {
+		return nil, err
+	}
+	if budget > 0 && len(keyIdx) > 0 && estHashBytes(b, keyIdx) > budget {
+		t, err := b.spillGroupBy(keys, aggs, keyIdx, aggIdx, sc, budget, dir)
+		if err == nil {
+			return t, nil
+		}
+		spillFallbacks.Add(1)
 	}
 
 	n := b.Len()
@@ -537,6 +571,46 @@ func (b *ColumnBlock) GroupBy(keys []string, aggs []Aggregate, sc *Scratch) (*Ta
 		nGroups = 1
 		synthesized = true
 	}
+
+	rows := b.aggregateGroups(keyIdx, aggIdx, aggs, gids, firstP, nGroups, synthesized)
+	out, err := NewTable(b.Name+"_group", groupSchema(b, keys, keyIdx, aggs, aggIdx))
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = rows
+	return out, nil
+}
+
+// groupSchema builds the group-by output schema: keys then aggregates,
+// identical to the row path.
+func groupSchema(b *ColumnBlock, keys []string, keyIdx []int, aggs []Aggregate, aggIdx []int) Schema {
+	schema := make(Schema, 0, len(keys)+len(aggs))
+	for i, k := range keys {
+		schema = append(schema, Column{Name: k, Type: b.Schema[keyIdx[i]].Type})
+	}
+	for i, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Fn.String() + "_" + a.Col
+		}
+		typ := TypeFloat
+		if a.Fn == AggCount {
+			typ = TypeInt
+		} else if a.Fn == AggMin || a.Fn == AggMax {
+			typ = b.Schema[aggIdx[i]].Type
+		}
+		schema = append(schema, Column{Name: name, Type: typ})
+	}
+	return schema
+}
+
+// aggregateGroups runs the accumulation passes and emits one output row
+// per group, in group-id order. gids/firstP come from groupIDs over the
+// same block (so per-group accumulation order is the block's logical
+// row order); synthesized emits the single keyless group over empty
+// input.
+func (b *ColumnBlock) aggregateGroups(keyIdx, aggIdx []int, aggs []Aggregate, gids, firstP []int32, nGroups int, synthesized bool) []Row {
+	n := b.Len()
 
 	// Group sizes, shared by COUNT and AVG across all aggregates.
 	counts := make([]int64, nGroups)
@@ -610,30 +684,10 @@ func (b *ColumnBlock) GroupBy(keys []string, aggs []Aggregate, sc *Scratch) (*Ta
 		states[ai] = sts
 	}
 
-	// Output schema: keys then aggregates, identical to the row path.
-	schema := make(Schema, 0, len(keys)+len(aggs))
-	for i, k := range keys {
-		schema = append(schema, Column{Name: k, Type: b.Schema[keyIdx[i]].Type})
-	}
-	for i, a := range aggs {
-		name := a.As
-		if name == "" {
-			name = a.Fn.String() + "_" + a.Col
-		}
-		typ := TypeFloat
-		if a.Fn == AggCount {
-			typ = TypeInt
-		} else if a.Fn == AggMin || a.Fn == AggMax {
-			typ = b.Schema[aggIdx[i]].Type
-		}
-		schema = append(schema, Column{Name: name, Type: typ})
-	}
-	out, err := NewTable(b.Name+"_group", schema)
-	if err != nil {
-		return nil, err
-	}
+	out := make([]Row, 0, nGroups)
+	width := len(keyIdx) + len(aggs)
 	for g := 0; g < nGroups; g++ {
-		row := make(Row, 0, len(schema))
+		row := make(Row, 0, width)
 		if !synthesized {
 			for _, j := range keyIdx {
 				row = append(row, b.valuePhys(int(firstP[g]), j))
@@ -657,9 +711,9 @@ func (b *ColumnBlock) GroupBy(keys []string, aggs []Aggregate, sc *Scratch) (*Ta
 				row = append(row, b.extremeValue(states[ai], g, aggIdx[ai], false))
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		out = append(out, row)
 	}
-	return out, nil
+	return out
 }
 
 func sumOf(sts []colAggState, g int) float64 {

@@ -196,6 +196,103 @@ func (b *ColumnBlock) ToTable() *Table {
 	return &Table{Name: b.Name, Schema: b.Schema.Clone(), Rows: rows}
 }
 
+// BlockOf assembles a ColumnBlock directly from typed column vectors,
+// bypassing row decode entirely. vecs[j] must be a []int64, []float64,
+// []string, or []bool matching schema[j].Type, and all vectors must
+// share one length. This is the ingestion seam the on-disk column
+// store uses: segments decode straight into vectors and never pay the
+// []Row boxing FromTable exists to undo.
+func BlockOf(name string, schema Schema, vecs []any) (*ColumnBlock, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if len(vecs) != len(schema) {
+		return nil, fmt.Errorf("%w: got %d vectors, schema has %d columns", ErrArity, len(vecs), len(schema))
+	}
+	b := &ColumnBlock{
+		Name:   name,
+		Schema: schema.Clone(),
+		cols:   make([]colvec, len(schema)),
+	}
+	n := -1
+	for j, v := range vecs {
+		var cv colvec
+		var ln int
+		switch s := v.(type) {
+		case []int64:
+			cv.ints, ln = s, len(s)
+		case []float64:
+			cv.floats, ln = s, len(s)
+		case []string:
+			cv.strs, ln = s, len(s)
+		case []bool:
+			cv.bools, ln = s, len(s)
+		default:
+			return nil, fmt.Errorf("%w: unsupported vector type %T", ErrTypeClash, v)
+		}
+		if !typedSlotMatches(schema[j].Type, cv) {
+			return nil, fmt.Errorf("%w: column %q is %s", ErrTypeClash, schema[j].Name, schema[j].Type)
+		}
+		if n >= 0 && ln != n {
+			return nil, fmt.Errorf("%w: column %q has %d rows, column %q has %d",
+				ErrArity, schema[j].Name, ln, schema[0].Name, n)
+		}
+		n = ln
+		b.cols[j] = cv
+	}
+	if n < 0 {
+		n = 0
+	}
+	b.nrows = n
+	return b, nil
+}
+
+// Dense returns a block whose selection vector is nil: b itself when
+// already dense, otherwise a copy with every column gathered through
+// the selection. Vec and the segment writer need physically contiguous
+// vectors.
+func (b *ColumnBlock) Dense() *ColumnBlock {
+	if b.sel == nil {
+		return b
+	}
+	nb := &ColumnBlock{
+		Name:   b.Name,
+		Schema: b.Schema.Clone(),
+		nrows:  len(b.sel),
+		cols:   make([]colvec, len(b.cols)),
+	}
+	for j := range b.cols {
+		nb.cols[j] = gather(b.cols[j], b.Schema[j].Type, b.sel)
+	}
+	return nb
+}
+
+// Vec returns column j's typed vector ([]int64, []float64, []string,
+// or []bool), sliced to the logical row count. It refuses blocks with
+// a selection vector — call Dense first — because handing out the raw
+// physical vector there would expose rows the selection filtered out.
+// The returned slice aliases block storage; callers must not mutate it.
+func (b *ColumnBlock) Vec(j int) (any, error) {
+	if j < 0 || j >= len(b.Schema) {
+		return nil, fmt.Errorf("%w: column %d of %d", ErrNoColumn, j, len(b.Schema))
+	}
+	if b.sel != nil {
+		return nil, fmt.Errorf("%w: Vec on a block with a selection vector (call Dense first)", ErrSchema)
+	}
+	cv := b.cols[j]
+	switch b.Schema[j].Type {
+	case TypeInt:
+		return cv.ints[:b.nrows], nil
+	case TypeFloat:
+		return cv.floats[:b.nrows], nil
+	case TypeString:
+		return cv.strs[:b.nrows], nil
+	case TypeBool:
+		return cv.bools[:b.nrows], nil
+	}
+	return nil, fmt.Errorf("%w: column %q has unknown type", ErrTypeClash, b.Schema[j].Name)
+}
+
 // WithColumn returns a shallow copy of the block with column j's
 // vector replaced. vals must be a []int64, []float64, []string, or
 // []bool matching the column's schema type and physical length; the

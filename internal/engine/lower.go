@@ -321,6 +321,22 @@ func (q *Query) Explain() (*plan.Tree, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
+	if q.store != nil {
+		// Storage-backed scan: one scan node annotated with the
+		// storage's partition/pruning prediction (from segment footers,
+		// no data decoded), then the recorded operations as written.
+		root := &plan.Node{
+			Kind: plan.KindScan, Table: q.store.StorageName(),
+			Alias: q.store.StorageName(), Rows: q.store.NumRows(),
+		}
+		if sp, ok := q.store.(ScanPlanner); ok {
+			root.Partitions, root.BlocksPruned = sp.PlanScan(q.leadingFilterExpr())
+		}
+		for _, op := range q.ops {
+			root = opNode(op, root)
+		}
+		return &plan.Tree{Root: root}, nil
+	}
 	if q.src == nil {
 		return nil, fmt.Errorf("engine: explain of empty query")
 	}

@@ -12,6 +12,7 @@ package engine
 // triggering column and type.
 
 import (
+	"errors"
 	"log"
 	"sync"
 
@@ -47,6 +48,18 @@ const (
 	// by Prepared statements.
 	MetricPlanCacheHits   = "engine.plan.cache_hits"
 	MetricPlanCacheMisses = "engine.plan.cache_misses"
+
+	// Spill metrics carry the colstore. prefix because the storage layer
+	// owns the out-of-core story, even though the spilling operators live
+	// here (colstore depends on engine, not the other way around).
+	//
+	// MetricSpillPartitions counts Grace partitions processed by spilled
+	// joins and group-bys; MetricSpillBytes counts bytes written to spill
+	// files; MetricSpillFallbacks counts spills abandoned for in-memory
+	// execution after a spill-file I/O error.
+	MetricSpillPartitions = "colstore.spill_partitions"
+	MetricSpillBytes      = "colstore.spill_bytes"
+	MetricSpillFallbacks  = "colstore.spill_fallbacks"
 )
 
 var (
@@ -62,8 +75,31 @@ var (
 	planCacheHits   = obs.Default().Counter(MetricPlanCacheHits)
 	planCacheMisses = obs.Default().Counter(MetricPlanCacheMisses)
 
+	spillPartitions = obs.Default().Counter(MetricSpillPartitions)
+	spillBytes      = obs.Default().Counter(MetricSpillBytes)
+	spillFallbacks  = obs.Default().Counter(MetricSpillFallbacks)
+
 	fallbackLogOnce sync.Once
 )
+
+// fallbackClass names the reason class of a columnar-fallback error via
+// its sentinel chain, most-specific first, so the once-per-process log
+// line says *why* the row path latched without the reader having to
+// parse a wrapped message.
+func fallbackClass(err error) string {
+	switch {
+	case errors.Is(err, ErrMixedColumn):
+		return "mixed-column"
+	case errors.Is(err, ErrNotNumeric):
+		return "not-numeric"
+	case errors.Is(err, ErrNoColumn):
+		return "missing-column"
+	case errors.Is(err, ErrTypeClash):
+		return "type-clash"
+	default:
+		return "other"
+	}
+}
 
 // noteColFallback records one columnar→row fallback latch. The counter
 // fires every time; the log line — naming the column and dynamic type
@@ -72,7 +108,7 @@ var (
 func noteColFallback(err error) {
 	colFallbacks.Add(1)
 	fallbackLogOnce.Do(func() {
-		log.Printf("engine: columnar decode failed, latched to row path (further fallbacks counted in %s): %v",
-			MetricColFallback, err)
+		log.Printf("engine: columnar decode failed (class=%s), latched to row path (further fallbacks counted in %s): %v",
+			fallbackClass(err), MetricColFallback, err)
 	})
 }

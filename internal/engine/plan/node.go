@@ -52,6 +52,13 @@ type Node struct {
 	Cols  []string
 	Rows  int64
 
+	// Partitions and BlocksPruned annotate storage-backed scans: how
+	// many on-disk partitions (segments) the relation holds and how
+	// many column blocks zone maps would prune for the scan's
+	// predicate. Zero for in-memory scans.
+	Partitions   int64
+	BlocksPruned int64
+
 	Pred Expr
 
 	LeftCol   string
@@ -116,6 +123,12 @@ func (n *Node) line() string {
 		s += " rows=" + strconv.FormatInt(n.Rows, 10)
 		if len(n.Cols) > 0 {
 			s += " cols=[" + strings.Join(n.Cols, ",") + "]"
+		}
+		if n.Partitions > 0 {
+			s += " partitions=" + strconv.FormatInt(n.Partitions, 10)
+		}
+		if n.BlocksPruned > 0 {
+			s += " blocks_pruned=" + strconv.FormatInt(n.BlocksPruned, 10)
 		}
 		return s
 	case KindFilter:
@@ -316,25 +329,27 @@ func exprFromJSON(j *jsonExpr) (Expr, error) {
 }
 
 type jsonNode struct {
-	Kind      string    `json:"kind"`
-	Table     string    `json:"table,omitempty"`
-	Alias     string    `json:"alias,omitempty"`
-	Cols      []string  `json:"cols,omitempty"`
-	Rows      int64     `json:"rows,omitempty"`
-	Pred      *jsonExpr `json:"pred,omitempty"`
-	LeftCol   string    `json:"left_col,omitempty"`
-	RightCol  string    `json:"right_col,omitempty"`
-	BuildLeft bool      `json:"build_left,omitempty"`
-	EstRows   float64   `json:"est_rows,omitempty"`
-	Keys      []string  `json:"keys,omitempty"`
-	Aggs      []AggSpec `json:"aggs,omitempty"`
-	Col       string    `json:"col,omitempty"`
-	Desc      bool      `json:"desc,omitempty"`
-	N         int       `json:"n,omitempty"`
-	Op        string    `json:"op,omitempty"`
-	Input     *jsonNode `json:"input,omitempty"`
-	Left      *jsonNode `json:"left,omitempty"`
-	Right     *jsonNode `json:"right,omitempty"`
+	Kind         string    `json:"kind"`
+	Table        string    `json:"table,omitempty"`
+	Alias        string    `json:"alias,omitempty"`
+	Cols         []string  `json:"cols,omitempty"`
+	Rows         int64     `json:"rows,omitempty"`
+	Partitions   int64     `json:"partitions,omitempty"`
+	BlocksPruned int64     `json:"blocks_pruned,omitempty"`
+	Pred         *jsonExpr `json:"pred,omitempty"`
+	LeftCol      string    `json:"left_col,omitempty"`
+	RightCol     string    `json:"right_col,omitempty"`
+	BuildLeft    bool      `json:"build_left,omitempty"`
+	EstRows      float64   `json:"est_rows,omitempty"`
+	Keys         []string  `json:"keys,omitempty"`
+	Aggs         []AggSpec `json:"aggs,omitempty"`
+	Col          string    `json:"col,omitempty"`
+	Desc         bool      `json:"desc,omitempty"`
+	N            int       `json:"n,omitempty"`
+	Op           string    `json:"op,omitempty"`
+	Input        *jsonNode `json:"input,omitempty"`
+	Left         *jsonNode `json:"left,omitempty"`
+	Right        *jsonNode `json:"right,omitempty"`
 }
 
 func nodeToJSON(n *Node) *jsonNode {
@@ -343,6 +358,7 @@ func nodeToJSON(n *Node) *jsonNode {
 	}
 	return &jsonNode{
 		Kind: n.Kind, Table: n.Table, Alias: n.Alias, Cols: n.Cols, Rows: n.Rows,
+		Partitions: n.Partitions, BlocksPruned: n.BlocksPruned,
 		Pred: exprToJSON(n.Pred), LeftCol: n.LeftCol, RightCol: n.RightCol,
 		BuildLeft: n.BuildLeft, EstRows: n.EstRows, Keys: n.Keys, Aggs: n.Aggs,
 		Col: n.Col, Desc: n.Desc, N: n.N, Op: n.Op,
@@ -372,6 +388,7 @@ func nodeFromJSON(j *jsonNode) (*Node, error) {
 	}
 	return &Node{
 		Kind: j.Kind, Table: j.Table, Alias: j.Alias, Cols: j.Cols, Rows: j.Rows,
+		Partitions: j.Partitions, BlocksPruned: j.BlocksPruned,
 		Pred: pred, LeftCol: j.LeftCol, RightCol: j.RightCol,
 		BuildLeft: j.BuildLeft, EstRows: j.EstRows, Keys: j.Keys, Aggs: j.Aggs,
 		Col: j.Col, Desc: j.Desc, N: j.N, Op: j.Op,

@@ -208,7 +208,7 @@ func (q *Query) planRegion(ch *chain) (int, bool) {
 			// restores written order later, so the choice is free).
 			buildLeft = acc.Len() < right.Len()
 		}
-		lidx, ridx := equiJoinIdx(acc, right, li, ri, buildLeft, ch.sc)
+		lidx, ridx := joinPairs(acc, right, li, ri, buildLeft, ch.sc, ch.budget, ch.spillDir)
 		out := &ColumnBlock{
 			Schema: append(acc.Schema.Clone(), right.Schema.Clone()...),
 			nrows:  len(lidx),

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -42,6 +43,21 @@ type Query struct {
 	ops  []*qop
 	err  error
 	mode plannerMode
+
+	// store, when set by FromStorage, replaces src as the scan source:
+	// execution streams the storage's partitions (zone-map pruned by
+	// the query's leading filters) and replays the recorded operations
+	// over the concatenated blocks.
+	store Storage
+	// ctx, when set by WithContext, flows into storage scans.
+	ctx context.Context
+
+	// budget and spillDir override the process-wide spill policy for
+	// this query: budget 0 inherits SpillDefaults, < 0 forces
+	// unlimited (never spill), > 0 is the hash-footprint budget in
+	// bytes. spillDir "" inherits.
+	budget   int64
+	spillDir string
 
 	// cache, when set by Prepared, memoizes the join-order choice
 	// across executions of the same statement.
@@ -153,6 +169,64 @@ func (q *Query) plannerOn() bool {
 // From starts a query over t.
 func From(t *Table) *Query {
 	return &Query{src: t, name: t.Name, schema: t.Schema}
+}
+
+// FromStorage starts a query over a storage backend. Execution scans
+// the storage's partitions — letting it prune against the query's
+// leading filters — and runs the same operators as From, so results
+// are byte-identical to a query over the equivalent in-memory table
+// (the storage-equivalence suite in internal/colstore enforces this).
+// Storage queries execute directly: the join-region planner only
+// reorders multi-table joins, whose right sides are in-memory tables
+// either way.
+func FromStorage(st Storage) *Query {
+	return &Query{store: st, name: st.StorageName(), schema: st.StorageSchema()}
+}
+
+// WithContext attaches ctx to the query's storage scans; it has no
+// effect on in-memory queries.
+func (q *Query) WithContext(ctx context.Context) *Query {
+	nq := *q
+	nq.ctx = ctx
+	return &nq
+}
+
+// WithMemoryBudget bounds the estimated hash-table footprint of this
+// query's joins and group-bys to budget bytes; operators over it
+// Grace-partition to disk (see spill.go) with byte-identical output.
+// budget <= 0 forces unlimited, overriding the process default set by
+// SetSpillDefault.
+func (q *Query) WithMemoryBudget(budget int64) *Query {
+	nq := *q
+	if budget <= 0 {
+		budget = -1
+	}
+	nq.budget = budget
+	return &nq
+}
+
+// WithSpillDir directs this query's spill files to dir instead of the
+// process default (the OS temp dir).
+func (q *Query) WithSpillDir(dir string) *Query {
+	nq := *q
+	nq.spillDir = dir
+	return &nq
+}
+
+// spillConfig resolves the query's effective spill policy against the
+// process defaults.
+func (q *Query) spillConfig() (int64, string) {
+	budget, dir := SpillDefaults()
+	if q.budget != 0 {
+		budget = q.budget
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	if q.spillDir != "" {
+		dir = q.spillDir
+	}
+	return budget, dir
 }
 
 // push appends op to a copy of q. The full slice expression pins the
@@ -428,7 +502,11 @@ func (q *Query) Extend(name string, typ Type, f func(Row) Value) *Query {
 // planned) replays through the chain, which is the historical eager
 // execution verbatim.
 func (q *Query) exec() (*chain, error) {
-	ch := &chain{t: q.src, sc: NewScratch()}
+	budget, dir := q.spillConfig()
+	if q.store != nil {
+		return q.execStorage(budget, dir)
+	}
+	ch := &chain{t: q.src, sc: NewScratch(), budget: budget, spillDir: dir}
 	start := 0
 	if q.plannerOn() {
 		if n, handled := q.planRegion(ch); handled {
@@ -445,6 +523,70 @@ func (q *Query) exec() (*chain, error) {
 		}
 	}
 	return ch, nil
+}
+
+// execStorage scans q.store's partitions — handing the scan the
+// query's leading filters as a pruning hint — concatenates the
+// surviving blocks, and replays every recorded operation over them.
+// All filters re-apply in full, so pruning (which only ever skips
+// partitions that cannot contain a matching row) is correctness-
+// neutral.
+func (q *Query) execStorage(budget int64, dir string) (*chain, error) {
+	ctx := q.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	it, err := q.store.ScanPartitions(ctx, nil, q.leadingFilterExpr())
+	if err != nil {
+		return nil, err
+	}
+	var parts []*ColumnBlock
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		parts = append(parts, b)
+	}
+	b, err := concatBlocks(q.store.StorageName(), q.store.StorageSchema(), parts)
+	if err != nil {
+		return nil, err
+	}
+	ch := &chain{sc: NewScratch(), budget: budget, spillDir: dir}
+	ch.setBlock(b)
+	colQueries.Add(1)
+	planDirect.Add(1)
+	for _, op := range q.ops {
+		if err := ch.apply(op, q); err != nil {
+			return nil, err
+		}
+	}
+	return ch, nil
+}
+
+// leadingFilterExpr conjoins the query's leading run of inspectable
+// filters into one pruning hint. It stops at the first non-filter
+// operation: filters before any reshaping provably reference scan
+// columns, which is all zone maps can judge. ColPred filters are
+// included (the zone evaluator treats them as "must decode"), keeping
+// the conjunction's And shape intact for the prunable conjuncts around
+// them.
+func (q *Query) leadingFilterExpr() plan.Expr {
+	var e plan.Expr
+	for _, op := range q.ops {
+		if op.kind != opFilter {
+			break
+		}
+		if e == nil {
+			e = op.expr
+		} else {
+			e = plan.And{L: e, R: op.expr}
+		}
+	}
+	return e
 }
 
 // Run returns the result table or the first error encountered.
@@ -518,6 +660,12 @@ type chain struct {
 	b     *ColumnBlock // columnar form; nil when t carries the state
 	sc    *Scratch     // shared per-execution operator scratch
 	noCol bool         // latched: table failed columnar decode, stay on rows
+
+	// budget and spillDir are the execution's resolved spill policy,
+	// applied by the hash join and group-by operators (0 = never
+	// spill).
+	budget   int64
+	spillDir string
 }
 
 // table returns the row form of the current state, materializing the
@@ -621,7 +769,7 @@ func (c *chain) apply(op *qop, q *Query) error {
 		// overwrite is positionally safe.
 		if b := c.block(); b != nil {
 			if ob, err := FromTable(op.joinT); err == nil {
-				nb, err := b.EquiJoin(ob, op.joinL, op.joinR, c.sc)
+				nb, err := b.equiJoinBudget(ob, op.joinL, op.joinR, c.sc, c.budget, c.spillDir)
 				if err != nil {
 					return err
 				}
@@ -642,7 +790,7 @@ func (c *chain) apply(op *qop, q *Query) error {
 
 	case opGroupBy:
 		if b := c.block(); b != nil {
-			t, err := b.GroupBy(op.cols, op.aggs, c.sc)
+			t, err := b.groupByBudget(op.cols, op.aggs, c.sc, c.budget, c.spillDir)
 			if err != nil {
 				return err
 			}

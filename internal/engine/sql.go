@@ -586,11 +586,18 @@ func selectHasAgg(st *selectStmt) bool {
 // accumulated names and prefix only the new table, so every column
 // stays addressable as "table.col" however many joins are chained.
 func buildSelectQuery(db *Database, st *selectStmt) (*Query, error) {
-	t, err := db.Get(st.from)
-	if err != nil {
+	var q *Query
+	if t, err := db.Get(st.from); err == nil {
+		q = From(t)
+	} else if stg, ok := db.Storage(st.from); ok {
+		// FROM falls back to a registered storage backend when no
+		// in-memory table claims the name. JOIN right sides stay
+		// table-only: join operands must be resident either way, and
+		// keeping them tables preserves the planner's join region.
+		q = FromStorage(stg)
+	} else {
 		return nil, err
 	}
-	q := From(t)
 	for i, jn := range st.joins {
 		right, err := db.Get(jn.table)
 		if err != nil {

@@ -17,6 +17,13 @@ var (
 	ErrSchema     = errors.New("engine: incompatible schemas")
 )
 
+// ErrNotNumeric reports an access that required a numeric column but
+// found another value type. It wraps ErrTypeClash, so existing
+// errors.Is(err, ErrTypeClash) checks keep matching, while callers that
+// care about the narrower reason class (the columnar-fallback log, for
+// one) can distinguish it with errors.Is(err, ErrNotNumeric).
+var ErrNotNumeric = fmt.Errorf("%w: column is not numeric", ErrTypeClash)
+
 // Column describes one attribute of a relation.
 type Column struct {
 	Name string
@@ -181,7 +188,7 @@ func (t *Table) FloatColumn(name string) ([]float64, error) {
 	out := make([]float64, len(t.Rows))
 	for i, r := range t.Rows {
 		if !r[idx].IsNumeric() {
-			return nil, fmt.Errorf("%w: column %q row %d is %s", ErrTypeClash, name, i, r[idx].Type())
+			return nil, fmt.Errorf("%w: column %q row %d is %s", ErrNotNumeric, name, i, r[idx].Type())
 		}
 		out[i] = r[idx].AsFloat()
 	}
@@ -226,9 +233,12 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Database is a named collection of tables.
+// Database is a named collection of tables, plus optionally registered
+// Storage backends (on-disk column stores and the like) that SQL FROM
+// clauses resolve against when no in-memory table claims the name.
 type Database struct {
 	tables map[string]*Table
+	stores map[string]Storage
 }
 
 // NewDatabase returns an empty database.
@@ -255,6 +265,24 @@ func (db *Database) Drop(name string) {
 	delete(db.tables, strings.ToLower(name))
 }
 
+// PutStorage registers (or replaces) a storage backend under its own
+// name. SQL SELECTs resolve FROM names against in-memory tables first
+// and storages second, so a table shadows a storage of the same name.
+// Storage-backed relations are read-only: INSERT and JOIN right sides
+// still require in-memory tables.
+func (db *Database) PutStorage(st Storage) {
+	if db.stores == nil {
+		db.stores = make(map[string]Storage)
+	}
+	db.stores[strings.ToLower(st.StorageName())] = st
+}
+
+// Storage returns the storage backend registered under name.
+func (db *Database) Storage(name string) (Storage, bool) {
+	st, ok := db.stores[strings.ToLower(name)]
+	return st, ok
+}
+
 // Names returns the table names in the database in sorted order, so
 // catalog listings are stable run to run.
 func (db *Database) Names() []string {
@@ -267,11 +295,18 @@ func (db *Database) Names() []string {
 }
 
 // Clone deep-copies the database; this is how Monte Carlo layers
-// materialize independent database instances.
+// materialize independent database instances. Tables are deep-copied
+// (the clone may mutate them freely); storage backends are read-only
+// and safe for concurrent scans, so the clone shares them — each
+// clone gets its own registration map, but the backends themselves
+// are the same objects.
 func (db *Database) Clone() *Database {
 	out := NewDatabase()
 	for _, t := range db.tables {
 		out.Put(t.Clone())
+	}
+	for _, st := range db.stores {
+		out.PutStorage(st)
 	}
 	return out
 }

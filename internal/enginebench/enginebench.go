@@ -2,7 +2,7 @@
 // for the relational engine's row and columnar execution paths. The
 // same Workload definitions back both the `go test -bench` benchmarks
 // (internal/engine/bench_test.go) and the cmd/benchjson trajectory
-// recorder, so the numbers in BENCH_6.json measure exactly the code the
+// recorder, so the numbers in BENCH_9.json measure exactly the code the
 // benchmarks do.
 package enginebench
 

@@ -99,6 +99,37 @@ func (c *Cache[K, V]) evictOverLocked() (evicted int) {
 	return evicted
 }
 
+// Remove deletes the entry under k, returning its value if present.
+func (c *Cache[K, V]) Remove(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[k]; ok {
+		c.ll.Remove(el)
+		delete(c.idx, k)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// RemoveOldest evicts and returns the least-recently-used entry. It
+// lets a caller layer its own eviction policy (byte budgets, TTLs) on
+// top of the recency order the cache already maintains.
+func (c *Cache[K, V]) RemoveOldest() (K, V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.ll.Back()
+	if el == nil {
+		var zeroK K
+		var zeroV V
+		return zeroK, zeroV, false
+	}
+	c.ll.Remove(el)
+	e := el.Value.(*entry[K, V])
+	delete(c.idx, e.key)
+	return e.key, e.val, true
+}
+
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()

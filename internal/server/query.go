@@ -228,7 +228,7 @@ func (s *Server) SQL(ctx context.Context, req SQLRequest) (*SQLResponse, error) 
 // Two racing misses on the same key both compute, but determinism makes
 // their vectors identical, so either store is correct.
 func (s *Server) results(key resultKey, compute func() ([]float64, error)) ([]float64, bool, error) {
-	if v, ok := s.cache.Get(key); ok {
+	if v, ok := s.cacheGet(key); ok {
 		s.reg.Counter(MetricCacheHits).Inc()
 		return v, true, nil
 	}
@@ -237,10 +237,65 @@ func (s *Server) results(key resultKey, compute func() ([]float64, error)) ([]fl
 	if err != nil {
 		return nil, false, err
 	}
-	if evicted := s.cache.Add(key, v); evicted > 0 {
+	s.cacheStore(key, v)
+	return v, false, nil
+}
+
+// resultBytes is the accounted payload size of one cached vector.
+func resultBytes(samples []float64) int64 { return int64(len(samples)) * 8 }
+
+// cacheGet returns the fresh cached vector for key, evicting it (and
+// reporting a miss) when it has outlived Config.CacheTTL.
+func (s *Server) cacheGet(key resultKey) ([]float64, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	v, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if s.cfg.CacheTTL > 0 && s.cfg.Clock.Now().Sub(v.at) > s.cfg.CacheTTL {
+		s.cache.Remove(key)
+		s.cacheBytes -= v.bytes
+		s.reg.Counter(MetricCacheEvictions).Inc()
+		s.reg.Gauge(MetricCacheBytes).Set(s.cacheBytes)
+		return nil, false
+	}
+	return v.samples, true
+}
+
+// cacheStore inserts a computed vector, evicting least-recently-used
+// entries until both the entry-count and byte budgets hold. A vector
+// larger than the whole byte budget is not cached at all (storing it
+// would evict everything and then still break the bound).
+func (s *Server) cacheStore(key resultKey, samples []float64) {
+	bytes := resultBytes(samples)
+	if bytes > s.cfg.CacheMaxBytes {
+		s.reg.Counter(MetricCacheEvictions).Inc()
+		return
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if old, ok := s.cache.Remove(key); ok { // replacement: retire old accounting
+		s.cacheBytes -= old.bytes
+	}
+	evicted := 0
+	for s.cache.Len() >= s.cache.Cap() || s.cacheBytes+bytes > s.cfg.CacheMaxBytes {
+		_, old, ok := s.cache.RemoveOldest()
+		if !ok {
+			break
+		}
+		s.cacheBytes -= old.bytes
+		evicted++
+	}
+	// The explicit evictions above keep the cache under its entry cap,
+	// so this Add never evicts internally (which would skew byte
+	// accounting).
+	s.cache.Add(key, cachedResult{samples: samples, bytes: bytes, at: s.cfg.Clock.Now()})
+	s.cacheBytes += bytes
+	if evicted > 0 {
 		s.reg.Counter(MetricCacheEvictions).Add(int64(evicted))
 	}
-	return v, false, nil
+	s.reg.Gauge(MetricCacheBytes).Set(s.cacheBytes)
 }
 
 // respond assembles the common response: full-vector summary plus the

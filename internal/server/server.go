@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"modeldata/internal/lru"
 	"modeldata/internal/mcdb"
@@ -51,8 +52,13 @@ const (
 	MetricCacheHits = "server.cache.hits"
 	// MetricCacheMisses counts queries that had to execute.
 	MetricCacheMisses = "server.cache.misses"
-	// MetricCacheEvictions counts result vectors dropped by the LRU.
+	// MetricCacheEvictions counts result vectors dropped by the LRU —
+	// whether for entry count, byte budget, staleness, or being too
+	// large to cache at all.
 	MetricCacheEvictions = "server.cache.evictions"
+	// MetricCacheBytes gauges the bytes currently held by the result
+	// cache (sample payloads; keys are not counted).
+	MetricCacheBytes = "server.cache.bytes"
 	// MetricQueries counts structured aggregate queries served.
 	MetricQueries = "server.queries"
 	// MetricSQL counts SQL queries served.
@@ -84,6 +90,17 @@ type Config struct {
 	MaxIterations int
 	// ResultCacheCap bounds the result cache (sample vectors retained).
 	ResultCacheCap int
+	// CacheMaxBytes bounds the result cache by payload bytes: inserting
+	// past the budget evicts least-recently-used entries, and a single
+	// result larger than the whole budget is simply not cached.
+	CacheMaxBytes int64
+	// CacheTTL bounds result staleness: entries older than the TTL are
+	// evicted on lookup (and count as misses). Zero keeps entries until
+	// evicted by capacity.
+	CacheTTL time.Duration
+	// Clock supplies the timestamps TTL expiry is judged against.
+	// Defaults to obs.Wall; tests inject an obs.ManualClock.
+	Clock obs.Clock
 	// BundleCacheCap sizes each session's bundle-realization LRU.
 	BundleCacheCap int
 	// PageSize caps samples per response page; requests asking for more
@@ -114,6 +131,7 @@ const (
 	DefaultMaxWorkers        = 8
 	DefaultMaxIterations     = 100000
 	DefaultResultCacheCap    = 256
+	DefaultCacheMaxBytes     = 64 << 20
 	DefaultPageSize          = 1000
 	DefaultMaxTenants        = 64
 )
@@ -124,7 +142,12 @@ type Server struct {
 	cfg   Config
 	stats *parallel.Stats
 	reg   *obs.Registry
-	cache *lru.Cache[resultKey, []float64]
+	cache *lru.Cache[resultKey, cachedResult]
+	// cacheMu serializes cache mutations with the byte accounting; the
+	// inner lru lock alone cannot keep cacheBytes consistent with the
+	// entries that are actually resident.
+	cacheMu    sync.Mutex
+	cacheBytes int64 // guarded by cacheMu
 
 	// tracer, when non-nil, collects spans for /debug/trace. Scraping
 	// swaps in a fresh tracer so span memory stays bounded.
@@ -158,6 +181,14 @@ type resultKey struct {
 	iters  int
 }
 
+// cachedResult is one resident cache entry: the full sample vector,
+// its accounted payload size, and its insertion time for TTL expiry.
+type cachedResult struct {
+	samples []float64
+	bytes   int64
+	at      time.Time
+}
+
 // New builds a Server from cfg, applying defaults for zero limits.
 func New(cfg Config) *Server {
 	if cfg.Shards < 1 {
@@ -178,6 +209,12 @@ func New(cfg Config) *Server {
 	if cfg.ResultCacheCap <= 0 {
 		cfg.ResultCacheCap = DefaultResultCacheCap
 	}
+	if cfg.CacheMaxBytes <= 0 {
+		cfg.CacheMaxBytes = DefaultCacheMaxBytes
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = obs.Wall
+	}
 	if cfg.BundleCacheCap <= 0 {
 		cfg.BundleCacheCap = mcdb.DefaultBundleCacheCap
 	}
@@ -192,7 +229,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		stats:   stats,
 		reg:     stats.Registry(),
-		cache:   lru.New[resultKey, []float64](cfg.ResultCacheCap),
+		cache:   lru.New[resultKey, cachedResult](cfg.ResultCacheCap),
 		tenants: make(map[string]*tenant),
 	}
 	if cfg.Trace {
