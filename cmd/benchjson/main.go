@@ -73,8 +73,11 @@ type report struct {
 	Speedups   []speedup        `json:"speedups"`
 	Planner    []plannerSpeedup `json:"planner"`
 	OutOfCore  []oocSpeedup     `json:"out_of_core,omitempty"`
+	WhatIf     []deltaSpeedup   `json:"whatif,omitempty"`
 	// Metrics holds the colstore.* counters accumulated across the
-	// out-of-core runs; CI asserts pruning and spilling actually fired.
+	// out-of-core runs (CI asserts pruning and spilling actually fired)
+	// and the mcdb.delta_* counters of the what-if runs (CI asserts
+	// clean iterations were actually skipped).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
@@ -103,15 +106,22 @@ func main() {
 	skipExperiments := flag.Bool("engine-only", false, "skip the E-experiment end-to-end benchmarks")
 	oocRows := flag.Int("ooc-rows", enginebench.OOCDefaultRows, "row count for the out-of-core benchmarks (0 skips them)")
 	oocOnly := flag.Bool("ooc-only", false, "run only the out-of-core benchmarks (CI smoke)")
+	whatIfOnly := flag.Bool("whatif-only", false, "run only the what-if delta benchmarks (CI smoke, writes BENCH_10.json)")
 	flag.Parse()
 
 	var rep report
-	if !*oocOnly {
+	if !*oocOnly && !*whatIfOnly {
 		runCoreBenchmarks(&rep, *seed, *skipExperiments)
 	}
-	if *oocRows > 0 {
+	if !*whatIfOnly && *oocRows > 0 {
 		if err := runOutOfCore(&rep, *oocRows); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: out-of-core: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !*oocOnly {
+		if err := runWhatIf(&rep, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: what-if: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 
 	"modeldata/internal/engine/plan"
+	"modeldata/internal/prov"
 )
 
 // Query is a fluent relational query builder over tables. Builder
@@ -62,6 +64,10 @@ type Query struct {
 	// cache, when set by Prepared, memoizes the join-order choice
 	// across executions of the same statement.
 	cache *Prepared
+
+	// provOn, set by WithProvenance, threads why-provenance
+	// annotations through execution (see provexec.go).
+	provOn bool
 
 	// name and schema describe the query's current result shape,
 	// maintained eagerly by every builder method.
@@ -507,6 +513,9 @@ func (q *Query) exec() (*chain, error) {
 		return q.execStorage(budget, dir)
 	}
 	ch := &chain{t: q.src, sc: NewScratch(), budget: budget, spillDir: dir}
+	if q.provOn {
+		ch.prov = &provState{arena: prov.NewArena()}
+	}
 	start := 0
 	if q.plannerOn() {
 		if n, handled := q.planRegion(ch); handled {
@@ -516,6 +525,11 @@ func (q *Query) exec() (*chain, error) {
 		}
 	} else {
 		planDirect.Add(1)
+	}
+	if start == 0 && ch.prov != nil {
+		// The planner did not produce (annotated) region output, so the
+		// source scan itself is the leaf relation.
+		ch.annotateSource()
 	}
 	for _, op := range q.ops[start:] {
 		if err := ch.apply(op, q); err != nil {
@@ -536,7 +550,14 @@ func (q *Query) execStorage(budget int64, dir string) (*chain, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	it, err := q.store.ScanPartitions(ctx, nil, q.leadingFilterExpr())
+	// Under provenance, pruning is disabled: leaf annotations index
+	// rows of the full stored relation, and a pruned scan would shift
+	// every index after the first skipped partition.
+	var hint plan.Expr
+	if !q.provOn {
+		hint = q.leadingFilterExpr()
+	}
+	it, err := q.store.ScanPartitions(ctx, nil, hint)
 	if err != nil {
 		return nil, err
 	}
@@ -557,6 +578,10 @@ func (q *Query) execStorage(budget int64, dir string) (*chain, error) {
 	}
 	ch := &chain{sc: NewScratch(), budget: budget, spillDir: dir}
 	ch.setBlock(b)
+	if q.provOn {
+		ch.prov = &provState{arena: prov.NewArena()}
+		ch.annotateSource()
+	}
 	colQueries.Add(1)
 	planDirect.Add(1)
 	for _, op := range q.ops {
@@ -568,22 +593,61 @@ func (q *Query) execStorage(budget int64, dir string) (*chain, error) {
 }
 
 // leadingFilterExpr conjoins the query's leading run of inspectable
-// filters into one pruning hint. It stops at the first non-filter
-// operation: filters before any reshaping provably reference scan
-// columns, which is all zone maps can judge. ColPred filters are
-// included (the zone evaluator treats them as "must decode"), keeping
-// the conjunction's And shape intact for the prunable conjuncts around
+// filters into one pruning hint, with every column name mapped back to
+// its stored (scan) name, which is all zone maps can judge. The
+// leading run extends through Select and Rename — both are pure name
+// reshaping, so a filter written after them still provably restricts
+// scan columns — and stops at the first operation that can change row
+// content or multiplicity (join, group-by, distinct, extend, opaque
+// predicates). Historically the run stopped at the first non-filter
+// op, so a leading Select or Rename silently disabled zone-map pruning
+// for every filter written after it. ColPred filters are included (the
+// zone evaluator treats them as "must decode"), keeping the
+// conjunction's And shape intact for the prunable conjuncts around
 // them.
 func (q *Query) leadingFilterExpr() plan.Expr {
 	var e plan.Expr
-	for _, op := range q.ops {
-		if op.kind != opFilter {
-			break
+	// toStored maps the current (lowercased) column names back to
+	// stored names; nil means the identity (no reshaping seen yet).
+	var toStored map[string]string
+	stored := func(name string) string {
+		if toStored == nil {
+			return name
 		}
-		if e == nil {
-			e = op.expr
-		} else {
-			e = plan.And{L: e, R: op.expr}
+		if s, ok := toStored[strings.ToLower(name)]; ok {
+			return s
+		}
+		return name
+	}
+	for _, op := range q.ops {
+		switch op.kind {
+		case opFilter:
+			fe := op.expr
+			if toStored != nil {
+				fe = plan.RenameCols(fe, stored)
+			}
+			if e == nil {
+				e = fe
+			} else {
+				e = plan.And{L: e, R: fe}
+			}
+		case opSelect:
+			nm := make(map[string]string, len(op.cols))
+			for _, c := range op.cols {
+				nm[strings.ToLower(c)] = stored(c)
+			}
+			toStored = nm
+		case opRename:
+			nm := make(map[string]string, len(toStored)+1)
+			for k, v := range toStored {
+				nm[k] = v
+			}
+			old := stored(op.oldName)
+			delete(nm, strings.ToLower(op.oldName))
+			nm[strings.ToLower(op.newName)] = old
+			toStored = nm
+		default:
+			return e
 		}
 	}
 	return e
@@ -598,7 +662,11 @@ func (q *Query) Run() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ch.table(), nil
+	t := ch.table()
+	if ch.prov != nil {
+		t = stripProv(ch.prov.arena, t)
+	}
+	return t, nil
 }
 
 // MustRun returns the result table, panicking on error; for tests and
@@ -666,6 +734,10 @@ type chain struct {
 	// spill).
 	budget   int64
 	spillDir string
+
+	// prov, when non-nil, is the execution's provenance context: the
+	// state carries a hidden annotation column (see provexec.go).
+	prov *provState
 }
 
 // table returns the row form of the current state, materializing the
@@ -707,6 +779,11 @@ func (c *chain) setTable(t *Table)       { c.t, c.b = t, nil }
 
 // apply executes one recorded operation against the current state.
 func (c *chain) apply(op *qop, q *Query) error {
+	if c.prov != nil {
+		if handled, err := c.applyProv(op, q); handled {
+			return err
+		}
+	}
 	switch op.kind {
 	case opWhereRow:
 		c.setTable(Select(c.table(), op.pred))

@@ -1,0 +1,459 @@
+package mcdb
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"modeldata/internal/engine"
+	"modeldata/internal/parallel"
+	"modeldata/internal/rng"
+)
+
+// deltaWorld describes one hypothetical change a test applies both ways:
+// as a Delta against the baseline session and as a from-scratch spec in
+// a second database. ExecDelta must match the second bit-for-bit.
+type deltaWorld struct {
+	kind      int // 0 VG, 1 Params, 2 MapUnc, 3 other-table
+	targetGrp int64
+}
+
+const (
+	deltaKindVG = iota
+	deltaKindParams
+	deltaKindMapUnc
+	deltaKindOther
+)
+
+// buildDeltaDB constructs the items/obs fixture: a deterministic items
+// table (id, grp, base) and a stochastic obs table (id, grp, val) whose
+// val draws N(base, 1+grp). When changed is true the spec embeds the
+// world's modification, producing the database ExecDelta must emulate.
+// A second stochastic table obs2 exists for the other-table case.
+func buildDeltaDB(t *testing.T, nItems, nGrps int, w deltaWorld, changed bool) *DB {
+	t.Helper()
+	base := engine.NewDatabase()
+	items := engine.MustNewTable("items", engine.Schema{
+		{Name: "id", Type: engine.TypeInt},
+		{Name: "grp", Type: engine.TypeInt},
+		{Name: "base", Type: engine.TypeFloat},
+	})
+	for i := 0; i < nItems; i++ {
+		items.MustInsert(engine.Int(int64(i)), engine.Int(int64(i%nGrps)), engine.Float(10+float64(i%7)))
+	}
+	base.Put(items)
+	db := New(base)
+
+	baseVG := func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+		v := params[2].AsFloat() + r.Normal(0, 1+float64(params[1].AsInt()))
+		return []engine.Value{engine.Float(v)}, nil
+	}
+	obsVG := baseVG
+	var obsParams func(db *engine.Database, outer engine.Row) (engine.Row, error)
+	if changed {
+		switch w.kind {
+		case deltaKindVG:
+			obsVG = func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+				if params[1].AsInt() != w.targetGrp {
+					return baseVG(params, r)
+				}
+				v := params[2].AsFloat()*1.3 + r.Normal(0, 2)
+				return []engine.Value{engine.Float(v)}, nil
+			}
+		case deltaKindParams:
+			obsParams = deltaShiftParams(w.targetGrp)
+		case deltaKindMapUnc:
+			obsVG = func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+				out, err := baseVG(params, r)
+				if err == nil && params[1].AsInt() == w.targetGrp {
+					out[0] = engine.Float(math.Min(out[0].AsFloat(), deltaCapFor(params)))
+				}
+				return out, err
+			}
+		}
+	}
+	spec := &TableSpec{
+		Name: "obs",
+		Schema: engine.Schema{
+			{Name: "id", Type: engine.TypeInt},
+			{Name: "grp", Type: engine.TypeInt},
+			{Name: "base", Type: engine.TypeFloat},
+			{Name: "val", Type: engine.TypeFloat},
+		},
+		ForEach: "items",
+		Params:  obsParams,
+		VG:      obsVG,
+		OutputRow: func(outer engine.Row, vgOut []engine.Value) engine.Row {
+			// base rides along deterministically so MapUnc deltas can
+			// read it from the det row (uncertain positions are zero).
+			return engine.Row{outer[0], outer[1], outer[2], vgOut[0]}
+		},
+		UncertainCols: []int{3},
+	}
+	if err := db.AddSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	obs2VG := func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+		return []engine.Value{engine.Float(100 + r.Normal(0, 3))}, nil
+	}
+	if changed && w.kind == deltaKindOther {
+		obs2VG = func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+			return []engine.Value{engine.Float(200 + r.Normal(0, 9))}, nil
+		}
+	}
+	spec2 := &TableSpec{
+		Name: "obs2",
+		Schema: engine.Schema{
+			{Name: "id", Type: engine.TypeInt},
+			{Name: "load", Type: engine.TypeFloat},
+		},
+		ForEach: "items",
+		VG:      obs2VG,
+		OutputRow: func(outer engine.Row, vgOut []engine.Value) engine.Row {
+			return engine.Row{outer[0], vgOut[0]}
+		},
+		UncertainCols: []int{1},
+	}
+	if err := db.AddSpec(spec2); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// deltaShiftParams is the Params-change hypothesis: the target group's
+// base parameter shifts by +5. Off-target rows pass through unchanged,
+// so the delta's affected set (Where grp == target) covers exactly the
+// rows whose realization can differ.
+func deltaShiftParams(targetGrp int64) func(db *engine.Database, outer engine.Row) (engine.Row, error) {
+	return func(db *engine.Database, outer engine.Row) (engine.Row, error) {
+		if outer[1].AsInt() != targetGrp {
+			return outer, nil
+		}
+		return engine.Row{outer[0], outer[1], engine.Float(outer[2].AsFloat() + 5)}, nil
+	}
+}
+
+// deltaCapFor is the MapUnc-change hypothesis: cap the realized value
+// at base + 1 for the target group.
+func deltaCapFor(det engine.Row) float64 { return det[2].AsFloat() + 1 }
+
+// deltaFor renders the world as the Delta ExecDelta receives.
+func deltaFor(w deltaWorld) Delta {
+	whereGrp := func(det engine.Row) bool { return det[1].AsInt() == w.targetGrp }
+	switch w.kind {
+	case deltaKindVG:
+		return Delta{Table: "obs", Where: whereGrp, VG: func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+			v := params[2].AsFloat()*1.3 + r.Normal(0, 2)
+			return []engine.Value{engine.Float(v)}, nil
+		}}
+	case deltaKindParams:
+		return Delta{Table: "obs", Where: whereGrp, Params: deltaShiftParams(w.targetGrp)}
+	case deltaKindMapUnc:
+		return Delta{Table: "obs", Where: whereGrp, MapUnc: func(det engine.Row, unc []float64) {
+			unc[0] = math.Min(unc[0], deltaCapFor(det))
+		}}
+	default:
+		return Delta{Table: "obs2", VG: func(params engine.Row, r *rng.Stream) ([]engine.Value, error) {
+			return []engine.Value{engine.Float(200 + r.Normal(0, 9))}, nil
+		}}
+	}
+}
+
+func requireSameSamples(t *testing.T, name string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d samples, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: iter %d: got %v, want %v (bit-identity violated)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestExecDeltaRandomizedEquivalence is the delta-equivalence suite: 40
+// generated pipelines, each mutating one VG function, parameter query,
+// realized-value transform, or unrelated table, executed as ExecDelta
+// against the baseline session and as a fresh full Exec of the changed
+// database. The two must agree bit-for-bit at every worker count, and
+// disjoint ExecDeltaRange windows must concatenate to the full run.
+func TestExecDeltaRandomizedEquivalence(t *testing.T) {
+	gen := rng.New(0xDE17A)
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		nItems := 5 + gen.Intn(28)
+		nGrps := 2 + gen.Intn(3)
+		iters := 8 + gen.Intn(49)
+		seed := gen.Uint64()
+		w := deltaWorld{kind: gen.Intn(4), targetGrp: int64(gen.Intn(nGrps))}
+
+		q := AggQuery{Table: "obs", Col: "val"}
+		switch gen.Intn(3) {
+		case 0:
+			q.Fn = engine.AggCount
+		case 1:
+			q.Fn = engine.AggSum
+		default:
+			q.Fn = engine.AggAvg
+		}
+		switch gen.Intn(3) {
+		case 1:
+			// Sometimes the filtered group is the changed one, sometimes
+			// not — the latter exercises full-iteration reuse.
+			filterGrp := int64(gen.Intn(nGrps))
+			q.WhereDet = func(det engine.Row) bool { return det[1].AsInt() == filterGrp }
+		case 2:
+			cut := 8 + gen.Float64()*8
+			q.WhereUnc = func(det engine.Row, unc []float64) bool { return unc[0] > cut }
+		}
+
+		db1 := buildDeltaDB(t, nItems, nGrps, w, false)
+		db2 := buildDeltaDB(t, nItems, nGrps, w, true)
+		s1, s2 := db1.NewSession(), db2.NewSession()
+		d := deltaFor(w)
+
+		want, err := s2.Exec(ctx, q, ExecOptions{Iterations: iters, Seed: seed})
+		if err != nil {
+			t.Fatalf("trial %d: full exec: %v", trial, err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			opts := ExecOptions{Iterations: iters, Seed: seed, Workers: workers}
+			got, err := s1.ExecDelta(ctx, q, opts, d)
+			if err != nil {
+				t.Fatalf("trial %d workers %d: ExecDelta: %v", trial, workers, err)
+			}
+			requireSameSamples(t, "delta vs full", want, got)
+		}
+
+		// Sharded windows concatenate to the full run.
+		mid := iters / 2
+		opts := ExecOptions{Iterations: iters, Seed: seed}
+		head, err := s1.ExecDeltaRange(ctx, q, opts, d, 0, mid)
+		if err != nil {
+			t.Fatalf("trial %d: ExecDeltaRange head: %v", trial, err)
+		}
+		tail, err := s1.ExecDeltaRange(ctx, q, opts, d, mid, iters)
+		if err != nil {
+			t.Fatalf("trial %d: ExecDeltaRange tail: %v", trial, err)
+		}
+		requireSameSamples(t, "windowed delta", want, append(head, tail...))
+	}
+}
+
+// TestExecDeltaEmptyAVGConvention pins satellite semantics: iterations
+// whose selection empties out yield AVG = 0 — never NaN — identically
+// on the naive, bundle, and delta paths. With a predicate nothing can
+// satisfy, every iteration is empty and all three strategies agree
+// bit-for-bit (zeros); with a merely-steep predicate, bundle and delta
+// (which share a realization) stay bit-identical while mixing empty and
+// non-empty iterations, and the naive path still keeps every sample
+// finite with exact zeros at its own empty iterations.
+func TestExecDeltaEmptyAVGConvention(t *testing.T) {
+	ctx := context.Background()
+	w := deltaWorld{kind: deltaKindVG, targetGrp: 1}
+	db1 := buildDeltaDB(t, 5, 2, w, false)
+	db2 := buildDeltaDB(t, 5, 2, w, true)
+	opts := ExecOptions{Iterations: 80, Seed: 7}
+	mkQ := func(cut float64) AggQuery {
+		return AggQuery{
+			Table: "obs", Col: "val", Fn: engine.AggAvg,
+			WhereUnc: func(det engine.Row, unc []float64) bool { return unc[0] > cut },
+		}
+	}
+	checkFinite := func(name string, samples []float64) int {
+		t.Helper()
+		empties := 0
+		for i, v := range samples {
+			if v != v {
+				t.Fatalf("%s: NaN leaked into sample %d", name, i)
+			}
+			if v == 0 {
+				empties++
+			}
+		}
+		return empties
+	}
+
+	// Impossible predicate: all three strategies produce all-zero
+	// sample vectors, bit-identical by the convention alone.
+	impossible := mkQ(1e12)
+	naive, err := db2.NewSession().Exec(ctx, impossible, ExecOptions{Strategy: StrategyNaive, Iterations: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := db2.NewSession().Exec(ctx, impossible, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := db1.NewSession().ExecDelta(ctx, impossible, opts, deltaFor(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSamples(t, "naive vs bundle (all empty)", naive, bundle)
+	requireSameSamples(t, "bundle vs delta (all empty)", bundle, delta)
+	if checkFinite("all-empty delta", delta) != 80 {
+		t.Fatal("impossible predicate left a non-zero sample")
+	}
+
+	// Steep predicate: empty and non-empty iterations mix. Bundle and
+	// delta share one realization and must agree bit-for-bit; the naive
+	// path draws its own realization but obeys the same convention.
+	steep := mkQ(21)
+	naive, err = db2.NewSession().Exec(ctx, steep, ExecOptions{Strategy: StrategyNaive, Iterations: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err = db2.NewSession().Exec(ctx, steep, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err = db1.NewSession().ExecDelta(ctx, steep, opts, deltaFor(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSamples(t, "bundle vs delta (mixed)", bundle, delta)
+	checkFinite("steep naive", naive)
+	if e := checkFinite("steep delta", delta); e == 0 || e == 80 {
+		t.Fatalf("steep predicate emptied %d of 80 iterations; want a mix", e)
+	}
+}
+
+// TestExecDeltaOtherTableSkipsEverything: a change to an unrelated
+// stochastic table reuses every iteration of the query's bundle, and
+// the skip counter says so.
+func TestExecDeltaOtherTableSkipsEverything(t *testing.T) {
+	w := deltaWorld{kind: deltaKindOther}
+	db := buildDeltaDB(t, 10, 2, w, false)
+	s := db.NewSession()
+	st := parallel.NewStats()
+	ctx := parallel.WithStats(context.Background(), st)
+	q := AggQuery{Table: "obs", Col: "val", Fn: engine.AggAvg}
+	opts := ExecOptions{Iterations: 25, Seed: 3}
+
+	baseline, err := s.Exec(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ExecDelta(ctx, q, opts, deltaFor(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSamples(t, "unrelated delta", baseline, got)
+	if skipped := st.Registry().Counter(MetricDeltaItersSkipped).Value(); skipped != 25 {
+		t.Fatalf("delta_iters_skipped = %d, want 25", skipped)
+	}
+}
+
+// TestExecDeltaMapUncSkipsCleanIterations: a cap transform that rarely
+// binds leaves most iterations bitwise unchanged; those must be reused
+// (skip counter > 0) while the run as a whole stays bit-identical to
+// the changed world, which also must contain dirty iterations for the
+// test to mean anything.
+func TestExecDeltaMapUncSkipsCleanIterations(t *testing.T) {
+	w := deltaWorld{kind: deltaKindMapUnc, targetGrp: 0}
+	db1 := buildDeltaDB(t, 6, 3, w, false)
+	db2 := buildDeltaDB(t, 6, 3, w, true)
+	s := db1.NewSession()
+	st := parallel.NewStats()
+	ctx := parallel.WithStats(context.Background(), st)
+	q := AggQuery{Table: "obs", Col: "val", Fn: engine.AggSum}
+	opts := ExecOptions{Iterations: 120, Seed: 19}
+
+	want, err := db2.NewSession().Exec(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ExecDelta(ctx, q, opts, deltaFor(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameSamples(t, "capped delta", want, got)
+	skipped := st.Registry().Counter(MetricDeltaItersSkipped).Value()
+	if skipped == 0 {
+		t.Fatal("no iteration skipped; the cap bound every iteration")
+	}
+	if skipped == int64(opts.Iterations) {
+		t.Fatal("every iteration skipped; the cap never bound")
+	}
+	if rerealized := st.Registry().Counter(MetricDeltaTuplesRerealized).Value(); rerealized != 2 {
+		t.Fatalf("delta_tuples_rerealized = %d, want 2 (grp 0 of 3 over 6 items)", rerealized)
+	}
+}
+
+// TestExecDeltaValidation covers the rejection surface.
+func TestExecDeltaValidation(t *testing.T) {
+	db := buildDeltaDB(t, 4, 2, deltaWorld{}, false)
+	s := db.NewSession()
+	ctx := context.Background()
+	q := AggQuery{Table: "obs", Col: "val", Fn: engine.AggAvg}
+	good := ExecOptions{Iterations: 5, Seed: 1}
+
+	cases := []struct {
+		name string
+		q    AggQuery
+		opts ExecOptions
+		d    Delta
+	}{
+		{"no table", q, good, Delta{}},
+		{"unknown table", q, good, Delta{Table: "nope"}},
+		{"mapunc plus vg", q, good, Delta{Table: "obs",
+			MapUnc: func(det engine.Row, unc []float64) {},
+			VG:     func(p engine.Row, r *rng.Stream) ([]engine.Value, error) { return nil, nil }}},
+		{"naive strategy", q, ExecOptions{Iterations: 5, Strategy: StrategyNaive}, Delta{Table: "obs"}},
+		{"zero iters", q, ExecOptions{}, Delta{Table: "obs"}},
+		{"bad aggregate", AggQuery{Table: "obs", Col: "val", Fn: engine.AggFunc(99)}, good, Delta{Table: "obs"}},
+	}
+	for _, tc := range cases {
+		if _, err := s.ExecDelta(ctx, tc.q, tc.opts, tc.d); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := s.ExecDeltaRange(ctx, q, good, Delta{Table: "obs"}, 3, 9); err == nil {
+		t.Error("window beyond Iterations: expected error")
+	}
+}
+
+// TestExecLineage checks per-iteration why-provenance against a direct
+// scan of the realized bundle, and that iterations with identical
+// lineage share one interned slice.
+func TestExecLineage(t *testing.T) {
+	db := buildDeltaDB(t, 6, 2, deltaWorld{}, false)
+	s := db.NewSession()
+	ctx := context.Background()
+	q := AggQuery{
+		Table: "obs", Col: "val", Fn: engine.AggAvg,
+		WhereDet: func(det engine.Row) bool { return det[1].AsInt() == 0 },
+		WhereUnc: func(det engine.Row, unc []float64) bool { return unc[0] > 11 },
+	}
+	opts := ExecOptions{Iterations: 20, Seed: 5}
+
+	lin, err := s.ExecLineage(ctx, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 20 {
+		t.Fatalf("%d iterations of lineage, want 20", len(lin))
+	}
+	bundles, err := s.bundlesFor(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := bundles["obs"]
+	for it := 0; it < bt.Iters; it++ {
+		var want []int
+		for ti := range bt.Det {
+			if bt.Det[ti][1].AsInt() == 0 && bt.Unc[ti][0][it] > 11 {
+				want = append(want, ti)
+			}
+		}
+		if len(lin[it]) != len(want) {
+			t.Fatalf("iter %d: %d leaves, want %d", it, len(lin[it]), len(want))
+		}
+		for j, ti := range want {
+			if lin[it][j].Table != "obs" || lin[it][j].Row != ti {
+				t.Fatalf("iter %d leaf %d = %+v, want obs:%d", it, j, lin[it][j], ti)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package prov
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLeafSingleton(t *testing.T) {
+	a := NewArena()
+	s := a.Leaf("t", 3)
+	if got := a.Leaves(s); !reflect.DeepEqual(got, []Leaf{{"t", 3}}) {
+		t.Fatalf("Leaves = %v", got)
+	}
+	if s2 := a.Leaf("t", 3); s2 != s {
+		t.Fatalf("identical leaves interned to different sets: %d vs %d", s, s2)
+	}
+	if a.Size(s) != 1 {
+		t.Fatalf("Size = %d, want 1", a.Size(s))
+	}
+}
+
+func TestJoinIsUnion(t *testing.T) {
+	a := NewArena()
+	x := a.Leaf("l", 0)
+	y := a.Leaf("r", 5)
+	j := a.Join(x, y)
+	want := []Leaf{{"l", 0}, {"r", 5}}
+	if got := a.Leaves(j); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Join leaves = %v, want %v", got, want)
+	}
+	// Commutative and memoized.
+	if a.Join(y, x) != j {
+		t.Fatal("Join is not commutative under interning")
+	}
+	// Idempotent.
+	if a.Join(j, x) != j {
+		t.Fatal("Join with a subset changed the set")
+	}
+	if a.Join(j, j) != j {
+		t.Fatal("self-join changed the set")
+	}
+}
+
+func TestEmptyIsIdentity(t *testing.T) {
+	a := NewArena()
+	x := a.Leaf("t", 1)
+	if a.Join(x, Empty) != x || a.Join(Empty, x) != x {
+		t.Fatal("Empty is not the identity for Join")
+	}
+	if a.Union(Empty, Empty) != Empty {
+		t.Fatal("Empty ⊕ Empty != Empty")
+	}
+	if got := a.Leaves(Empty); len(got) != 0 {
+		t.Fatalf("Leaves(Empty) = %v", got)
+	}
+}
+
+func TestAssociativityInvariance(t *testing.T) {
+	// (x⊗y)⊗z == x⊗(y⊗z): the planner may reassociate joins freely.
+	a := NewArena()
+	x, y, z := a.Leaf("a", 1), a.Leaf("b", 2), a.Leaf("c", 3)
+	l := a.Join(a.Join(x, y), z)
+	r := a.Join(x, a.Join(y, z))
+	if l != r {
+		t.Fatalf("association changed interned set: %d vs %d", l, r)
+	}
+}
+
+func TestSetOfBulk(t *testing.T) {
+	a := NewArena()
+	s := a.SetOf([]Leaf{{"t", 4}, {"t", 1}, {"t", 4}, {"u", 0}})
+	want := []Leaf{{"t", 1}, {"t", 4}, {"u", 0}}
+	if got := a.Leaves(s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SetOf leaves = %v, want %v", got, want)
+	}
+	// Same members via pairwise joins interns to the same handle.
+	p := a.Join(a.Join(a.Leaf("t", 4), a.Leaf("t", 1)), a.Leaf("u", 0))
+	if p != s {
+		t.Fatalf("bulk and pairwise construction disagree: %d vs %d", s, p)
+	}
+	if a.SetOf(nil) != Empty {
+		t.Fatal("SetOf(nil) != Empty")
+	}
+}
+
+func TestLeavesSorted(t *testing.T) {
+	a := NewArena()
+	s := a.SetOf([]Leaf{{"z", 0}, {"a", 9}, {"a", 2}})
+	want := []Leaf{{"a", 2}, {"a", 9}, {"z", 0}}
+	if got := a.Leaves(s); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Leaves = %v, want %v", got, want)
+	}
+}

@@ -32,21 +32,21 @@ func key(i int) resultKey {
 func TestCacheByteBudgetEvicts(t *testing.T) {
 	// Budget fits exactly two 100-sample vectors (800 bytes each).
 	s := cacheServer(Config{CacheMaxBytes: 1600})
-	s.cacheStore(key(1), storedVec(100, 1))
-	s.cacheStore(key(2), storedVec(100, 2))
+	s.cacheStore(key(1), storedVec(100, 1), nil)
+	s.cacheStore(key(2), storedVec(100, 2), nil)
 	if got := s.reg.Gauge(MetricCacheBytes).Value(); got != 1600 {
 		t.Fatalf("cache bytes = %d, want 1600", got)
 	}
 	// A third insert must evict the least-recently-used (key 1).
-	s.cacheStore(key(3), storedVec(100, 3))
+	s.cacheStore(key(3), storedVec(100, 3), nil)
 	if got := s.reg.Gauge(MetricCacheBytes).Value(); got != 1600 {
 		t.Fatalf("cache bytes after eviction = %d, want 1600", got)
 	}
-	if _, ok := s.cacheGet(key(1)); ok {
+	if _, _, ok := s.cacheGet(key(1)); ok {
 		t.Fatal("key 1 should have been evicted by the byte budget")
 	}
 	for _, i := range []int{2, 3} {
-		if _, ok := s.cacheGet(key(i)); !ok {
+		if _, _, ok := s.cacheGet(key(i)); !ok {
 			t.Fatalf("key %d should be resident", i)
 		}
 	}
@@ -57,12 +57,12 @@ func TestCacheByteBudgetEvicts(t *testing.T) {
 
 func TestCacheOversizedEntryNotCached(t *testing.T) {
 	s := cacheServer(Config{CacheMaxBytes: 800})
-	s.cacheStore(key(1), storedVec(50, 1))  // 400 bytes: fits
-	s.cacheStore(key(2), storedVec(200, 2)) // 1600 bytes: over the whole budget
-	if _, ok := s.cacheGet(key(2)); ok {
+	s.cacheStore(key(1), storedVec(50, 1), nil)  // 400 bytes: fits
+	s.cacheStore(key(2), storedVec(200, 2), nil) // 1600 bytes: over the whole budget
+	if _, _, ok := s.cacheGet(key(2)); ok {
 		t.Fatal("an entry larger than the byte budget must not be cached")
 	}
-	if _, ok := s.cacheGet(key(1)); !ok {
+	if _, _, ok := s.cacheGet(key(1)); !ok {
 		t.Fatal("storing an oversized entry must not disturb resident ones")
 	}
 	if got := s.reg.Gauge(MetricCacheBytes).Value(); got != 400 {
@@ -73,36 +73,36 @@ func TestCacheOversizedEntryNotCached(t *testing.T) {
 func TestCacheTTLExpiry(t *testing.T) {
 	clock := obs.NewManualClock(time.Unix(1000, 0))
 	s := cacheServer(Config{CacheTTL: time.Minute, Clock: clock})
-	s.cacheStore(key(1), storedVec(10, 1))
-	if _, ok := s.cacheGet(key(1)); !ok {
+	s.cacheStore(key(1), storedVec(10, 1), nil)
+	if _, _, ok := s.cacheGet(key(1)); !ok {
 		t.Fatal("fresh entry should hit")
 	}
 	clock.Advance(59 * time.Second)
-	if _, ok := s.cacheGet(key(1)); !ok {
+	if _, _, ok := s.cacheGet(key(1)); !ok {
 		t.Fatal("entry within TTL should hit")
 	}
 	clock.Advance(2 * time.Second) // now 61s past insertion
-	if _, ok := s.cacheGet(key(1)); ok {
+	if _, _, ok := s.cacheGet(key(1)); ok {
 		t.Fatal("stale entry should miss")
 	}
 	if got := s.reg.Gauge(MetricCacheBytes).Value(); got != 0 {
 		t.Fatalf("cache bytes after expiry = %d, want 0", got)
 	}
 	// Re-storing after expiry starts a fresh TTL window.
-	s.cacheStore(key(1), storedVec(10, 2))
-	if _, ok := s.cacheGet(key(1)); !ok {
+	s.cacheStore(key(1), storedVec(10, 2), nil)
+	if _, _, ok := s.cacheGet(key(1)); !ok {
 		t.Fatal("re-stored entry should hit")
 	}
 }
 
 func TestCacheReplacementKeepsAccounting(t *testing.T) {
 	s := cacheServer(Config{CacheMaxBytes: 4000})
-	s.cacheStore(key(1), storedVec(100, 1)) // 800 bytes
-	s.cacheStore(key(1), storedVec(200, 2)) // replaced: 1600 bytes
+	s.cacheStore(key(1), storedVec(100, 1), nil) // 800 bytes
+	s.cacheStore(key(1), storedVec(200, 2), nil) // replaced: 1600 bytes
 	if got := s.reg.Gauge(MetricCacheBytes).Value(); got != 1600 {
 		t.Fatalf("cache bytes after replacement = %d, want 1600", got)
 	}
-	v, ok := s.cacheGet(key(1))
+	v, _, ok := s.cacheGet(key(1))
 	if !ok || len(v) != 200 || v[0] != 2 {
 		t.Fatalf("replacement not visible: %v %d", ok, len(v))
 	}
@@ -121,7 +121,7 @@ func TestCacheChurnHoldsBudgets(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		switch r.Intn(3) {
 		case 0, 1:
-			s.cacheStore(key(r.Intn(40)), storedVec(r.Intn(300), float64(i)))
+			s.cacheStore(key(r.Intn(40)), storedVec(r.Intn(300), float64(i)), nil)
 		case 2:
 			s.cacheGet(key(r.Intn(40)))
 		}

@@ -50,6 +50,33 @@ type QueryRequest struct {
 	// full page (the server's PageSize).
 	Offset int `json:"offset,omitempty"`
 	Limit  int `json:"limit,omitempty"`
+	// Lineage asks for per-iteration why-provenance: for every Monte
+	// Carlo iteration, the indexes of the stochastic-table tuples that
+	// contributed to the sample. Bundle strategy only; cannot be
+	// combined with WhatIf.
+	Lineage bool `json:"lineage,omitempty"`
+	// WhatIf, when set, answers the query against a hypothetical
+	// database instead of the base one, via delta re-realization
+	// (mcdb.Session.ExecDelta): only the affected tuples and dirty
+	// iterations are recomputed.
+	WhatIf *WhatIf `json:"whatif,omitempty"`
+}
+
+// WhatIf is the declarative form of a value-transform delta: scale and
+// shift one uncertain column (new = old*scale + shift) for the tuples
+// the deterministic Where predicates select. Scale 0 means 1, so the
+// zero value of either knob is a no-op on that axis.
+type WhatIf struct {
+	// Table names the stochastic table to modify; empty means the
+	// query's table.
+	Table string `json:"table,omitempty"`
+	// Col is the uncertain column transformed.
+	Col   string  `json:"col"`
+	Scale float64 `json:"scale,omitempty"`
+	Shift float64 `json:"shift,omitempty"`
+	// Where selects the affected tuples by deterministic attributes;
+	// empty affects every tuple.
+	Where []Predicate `json:"where,omitempty"`
 }
 
 // SQLRequest runs a scalar SELECT once per Monte Carlo instantiation,
@@ -91,6 +118,10 @@ type QueryResponse struct {
 	// ends the vector.
 	NextOffset int       `json:"next_offset"`
 	Samples    []float64 `json:"samples"`
+	// Lineage, present only when the request set Lineage, pages in step
+	// with Samples: Lineage[i] lists the tuple indexes of the query's
+	// table that contributed to Samples[i]'s iteration.
+	Lineage [][]int `json:"lineage,omitempty"`
 }
 
 // SQLResponse answers an SQLRequest. For Explain requests only the
@@ -133,22 +164,60 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	if err != nil {
 		return nil, err
 	}
+	if (req.Lineage || req.WhatIf != nil) && strat == mcdb.StrategyNaive {
+		return nil, badRequestf("lineage and what-if require the bundle strategy")
+	}
+	var delta mcdb.Delta
+	var whatifCanon string
+	if req.WhatIf != nil {
+		if req.Lineage {
+			return nil, badRequestf("lineage cannot be combined with whatif (lineage reflects the base realization)")
+		}
+		delta, whatifCanon, err = compileWhatIf(t.db, req.Table, req.WhatIf)
+		if err != nil {
+			return nil, err
+		}
+	}
 	q := mcdb.AggQuery{Table: req.Table, Col: req.Col, Fn: fn,
 		WhereDet: preds.det, WhereUnc: preds.unc}
 	key := resultKey{tenant: req.Tenant, kind: "agg",
-		text: canonicalAgg(req, strat, preds), seed: req.Seed, iters: req.Iterations}
-	samples, cached, err := s.results(key, func() ([]float64, error) {
+		text: canonicalAgg(req, strat, preds), seed: req.Seed, iters: req.Iterations,
+		lineage: req.Lineage, whatif: whatifCanon}
+	samples, lineage, cached, err := s.results(key, func() ([]float64, [][]int, error) {
 		opts := mcdb.ExecOptions{
 			Strategy:   strat,
 			Iterations: req.Iterations,
 			Seed:       s.EffectiveSeed(req.Tenant, req.Seed),
 		}
-		return s.sharded(ctx, t, req.Iterations, s.workerBudget(req.Workers),
+		vec, err := s.sharded(ctx, t, req.Iterations, s.workerBudget(req.Workers),
 			func(ctx context.Context, sess *mcdb.Session, workers, lo, hi int) ([]float64, error) {
 				o := opts
 				o.Workers = workers
+				if req.WhatIf != nil {
+					return sess.ExecDeltaRange(ctx, q, o, delta, lo, hi)
+				}
 				return sess.ExecRange(ctx, q, o, lo, hi)
 			})
+		if err != nil || !req.Lineage {
+			return vec, nil, err
+		}
+		// Lineage comes from shard 0's session over the full iteration
+		// range; its bundle cache already holds this realization when
+		// the sample run above touched shard 0.
+		o := opts
+		o.Workers = s.workerBudget(req.Workers)
+		leaves, err := t.shards[0].ExecLineage(ctx, q, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows := make([][]int, len(leaves))
+		for i, ls := range leaves {
+			rows[i] = make([]int, len(ls))
+			for j, lf := range ls {
+				rows[i][j] = lf.Row
+			}
+		}
+		return vec, rows, nil
 	})
 	if err != nil {
 		return nil, err
@@ -158,7 +227,65 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResponse, e
 	if err != nil {
 		return nil, err
 	}
+	if req.Lineage && lineage != nil {
+		end := resp.Offset + len(resp.Samples)
+		resp.Lineage = lineage[resp.Offset:end:end]
+	}
 	return resp, nil
+}
+
+// compileWhatIf lowers the declarative what-if onto an mcdb.Delta: a
+// deterministic tuple selector plus an in-place scale-and-shift of one
+// uncertain column. The returned canonical text joins the cache key so
+// a what-if answer can never shadow (or be shadowed by) the base
+// query's, and distinct transforms never share an entry.
+func compileWhatIf(db *mcdb.DB, queryTable string, w *WhatIf) (mcdb.Delta, string, error) {
+	table := w.Table
+	if table == "" {
+		table = queryTable
+	}
+	spec, err := db.Spec(table)
+	if err != nil {
+		return mcdb.Delta{}, "", badRequestf("whatif table: %v", err)
+	}
+	idx, err := spec.Schema.ColIndex(w.Col)
+	if err != nil {
+		return mcdb.Delta{}, "", badRequestf("whatif column: %v", err)
+	}
+	uncPos := -1
+	for k, c := range spec.UncertainCols {
+		if c == idx {
+			uncPos = k
+		}
+	}
+	if uncPos < 0 {
+		return mcdb.Delta{}, "", badRequestf("whatif column %q is not an uncertain column of %q", w.Col, table)
+	}
+	preds, err := compileWhere(spec, w.Where)
+	if err != nil {
+		return mcdb.Delta{}, "", err
+	}
+	if preds.unc != nil {
+		return mcdb.Delta{}, "", badRequestf("whatif predicates must be deterministic (uncertain columns select per-iteration, not per-tuple)")
+	}
+	scale, shift := w.Scale, w.Shift
+	if scale == 0 { //lint:allow floateq the JSON zero value means "unset", mapped to the identity scale
+		scale = 1
+	}
+	k := uncPos
+	d := mcdb.Delta{
+		Table:  table,
+		Where:  preds.det,
+		MapUnc: func(det engine.Row, unc []float64) { unc[k] = unc[k]*scale + shift },
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "whatif %s.%s*%s+%s", table, w.Col,
+		strconv.FormatFloat(scale, 'g', -1, 64), strconv.FormatFloat(shift, 'g', -1, 64))
+	for _, c := range preds.canon {
+		b.WriteByte('|')
+		b.WriteString(c)
+	}
+	return d, b.String(), nil
 }
 
 // SQL executes (or explains) a scalar SELECT for one tenant.
@@ -200,13 +327,14 @@ func (s *Server) SQL(ctx context.Context, req SQLRequest) (*SQLResponse, error) 
 
 	key := resultKey{tenant: req.Tenant, kind: "sql", text: req.SQL,
 		seed: req.Seed, iters: req.Iterations}
-	samples, cached, err := s.results(key, func() ([]float64, error) {
+	samples, _, cached, err := s.results(key, func() ([]float64, [][]int, error) {
 		seed := s.EffectiveSeed(req.Tenant, req.Seed)
-		return s.sharded(ctx, t, req.Iterations, s.workerBudget(req.Workers),
+		vec, err := s.sharded(ctx, t, req.Iterations, s.workerBudget(req.Workers),
 			func(ctx context.Context, sess *mcdb.Session, workers, lo, hi int) ([]float64, error) {
 				o := mcdb.ExecOptions{Iterations: req.Iterations, Seed: seed, Workers: workers}
 				return sess.ExecSQLRange(ctx, req.SQL, o, lo, hi)
 			})
+		return vec, nil, err
 	})
 	if err != nil {
 		// A parse error surfaces here (the statement is prepared inside
@@ -227,48 +355,56 @@ func (s *Server) SQL(ctx context.Context, req SQLRequest) (*SQLResponse, error) 
 // results answers key from the cache or computes, stores, and counts.
 // Two racing misses on the same key both compute, but determinism makes
 // their vectors identical, so either store is correct.
-func (s *Server) results(key resultKey, compute func() ([]float64, error)) ([]float64, bool, error) {
-	if v, ok := s.cacheGet(key); ok {
+func (s *Server) results(key resultKey, compute func() ([]float64, [][]int, error)) ([]float64, [][]int, bool, error) {
+	if v, l, ok := s.cacheGet(key); ok {
 		s.reg.Counter(MetricCacheHits).Inc()
-		return v, true, nil
+		return v, l, true, nil
 	}
 	s.reg.Counter(MetricCacheMisses).Inc()
-	v, err := compute()
+	v, l, err := compute()
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	s.cacheStore(key, v)
-	return v, false, nil
+	s.cacheStore(key, v, l)
+	return v, l, false, nil
 }
 
-// resultBytes is the accounted payload size of one cached vector.
-func resultBytes(samples []float64) int64 { return int64(len(samples)) * 8 }
+// resultBytes is the accounted payload size of one cached entry: the
+// sample vector plus any lineage rows (tuple indexes at word size;
+// slice headers are noise next to the payload and are not counted).
+func resultBytes(samples []float64, lineage [][]int) int64 {
+	n := int64(len(samples)) * 8
+	for _, l := range lineage {
+		n += int64(len(l)) * 8
+	}
+	return n
+}
 
-// cacheGet returns the fresh cached vector for key, evicting it (and
+// cacheGet returns the fresh cached entry for key, evicting it (and
 // reporting a miss) when it has outlived Config.CacheTTL.
-func (s *Server) cacheGet(key resultKey) ([]float64, bool) {
+func (s *Server) cacheGet(key resultKey) ([]float64, [][]int, bool) {
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
 	v, ok := s.cache.Get(key)
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	if s.cfg.CacheTTL > 0 && s.cfg.Clock.Now().Sub(v.at) > s.cfg.CacheTTL {
 		s.cache.Remove(key)
 		s.cacheBytes -= v.bytes
 		s.reg.Counter(MetricCacheEvictions).Inc()
 		s.reg.Gauge(MetricCacheBytes).Set(s.cacheBytes)
-		return nil, false
+		return nil, nil, false
 	}
-	return v.samples, true
+	return v.samples, v.lineage, true
 }
 
-// cacheStore inserts a computed vector, evicting least-recently-used
-// entries until both the entry-count and byte budgets hold. A vector
+// cacheStore inserts a computed entry, evicting least-recently-used
+// entries until both the entry-count and byte budgets hold. An entry
 // larger than the whole byte budget is not cached at all (storing it
 // would evict everything and then still break the bound).
-func (s *Server) cacheStore(key resultKey, samples []float64) {
-	bytes := resultBytes(samples)
+func (s *Server) cacheStore(key resultKey, samples []float64, lineage [][]int) {
+	bytes := resultBytes(samples, lineage)
 	if bytes > s.cfg.CacheMaxBytes {
 		s.reg.Counter(MetricCacheEvictions).Inc()
 		return
@@ -290,7 +426,7 @@ func (s *Server) cacheStore(key resultKey, samples []float64) {
 	// The explicit evictions above keep the cache under its entry cap,
 	// so this Add never evicts internally (which would skew byte
 	// accounting).
-	s.cache.Add(key, cachedResult{samples: samples, bytes: bytes, at: s.cfg.Clock.Now()})
+	s.cache.Add(key, cachedResult{samples: samples, lineage: lineage, bytes: bytes, at: s.cfg.Clock.Now()})
 	s.cacheBytes += bytes
 	if evicted > 0 {
 		s.reg.Counter(MetricCacheEvictions).Add(int64(evicted))

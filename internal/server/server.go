@@ -172,19 +172,28 @@ type tenant struct {
 
 // resultKey identifies one cacheable answer. Determinism makes the
 // worker count and shard split irrelevant to the samples, so neither
-// is part of the key.
+// is part of the key. Everything that changes the payload IS part of
+// it: the lineage flag (a lineage response carries per-iteration
+// provenance a plain run does not — before the flag joined the key,
+// the two collided and a cached plain run could answer a lineage
+// request with no lineage) and the canonical what-if text (a delta run
+// answers a hypothetical database, never the base one).
 type resultKey struct {
-	tenant string
-	kind   string // "agg" or "sql"
-	text   string // canonical query text
-	seed   uint64
-	iters  int
+	tenant  string
+	kind    string // "agg" or "sql"
+	text    string // canonical query text
+	seed    uint64
+	iters   int
+	lineage bool   // response carries per-iteration lineage
+	whatif  string // canonical delta text, "" for the base database
 }
 
 // cachedResult is one resident cache entry: the full sample vector,
-// its accounted payload size, and its insertion time for TTL expiry.
+// the per-iteration lineage when the key's lineage flag is set, the
+// accounted payload size, and the insertion time for TTL expiry.
 type cachedResult struct {
 	samples []float64
+	lineage [][]int
 	bytes   int64
 	at      time.Time
 }
